@@ -1,0 +1,243 @@
+package wasp_test
+
+// One benchmark per table and figure of the paper's evaluation (§8). Each
+// benchmark executes the corresponding experiment end-to-end on the
+// emulated wide-area testbed at the paper's full durations and logs the
+// regenerated rows/series. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks also report headline metrics (processed percentage,
+// overheads) via b.ReportMetric so regressions are machine-checkable.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/experiment"
+)
+
+const benchSeed = 1
+
+func BenchmarkFig2BandwidthVariability(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiment.Fig2(42)
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFig7TopologyCDF(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiment.Fig7(benchSeed)
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable2TechniqueComparison(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiment.Table2()
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkTable3QueryDetails(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiment.Table3()
+	}
+	b.Log("\n" + out)
+}
+
+// fig8Runs caches the Figure 8/9 experiment within one bench invocation
+// (both figures come from the same runs, as in the paper).
+func fig8Runs(b *testing.B) []experiment.Fig8Run {
+	b.Helper()
+	runs, err := experiment.RunFig8(benchSeed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runs
+}
+
+func BenchmarkFig8DelayUnderDynamics(b *testing.B) {
+	var runs []experiment.Fig8Run
+	for i := 0; i < b.N; i++ {
+		runs = fig8Runs(b)
+	}
+	b.Log("\n" + experiment.FormatFig8(runs, 0))
+	for _, r := range runs {
+		if r.Query == "topk" && r.Policy == adapt.PolicyWASP {
+			b.ReportMetric(r.Result.ProcessedPct, "wasp_processed_%")
+		}
+	}
+}
+
+func BenchmarkFig9ProcessingRatio(b *testing.B) {
+	var runs []experiment.Fig8Run
+	for i := 0; i < b.N; i++ {
+		runs = fig8Runs(b)
+	}
+	b.Log("\n" + experiment.FormatFig9(runs, 0))
+	for _, r := range runs {
+		if r.Query == "topk" && r.Policy == adapt.PolicyDegrade {
+			b.ReportMetric(r.Result.ProcessedPct, "degrade_processed_%")
+		}
+	}
+}
+
+func BenchmarkFig10TechniqueComparison(b *testing.B) {
+	var runs []experiment.Fig10Run
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = experiment.RunFig10(benchSeed, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.FormatFig10(runs, 0))
+	for _, r := range runs {
+		if r.Policy == adapt.PolicyScale {
+			b.ReportMetric(experiment.Mean(r.Result.Samples), "scale_mean_delay_s")
+		}
+		if r.Policy == adapt.PolicyNone {
+			b.ReportMetric(experiment.Mean(r.Result.Samples), "noadapt_mean_delay_s")
+		}
+	}
+}
+
+// fig11Runs caches the live-environment runs (Figures 11 and 12 share
+// them).
+func fig11Runs(b *testing.B) []experiment.Fig11Run {
+	b.Helper()
+	runs, err := experiment.RunFig11(benchSeed, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runs
+}
+
+func BenchmarkFig11LiveEnvironment(b *testing.B) {
+	var runs []experiment.Fig11Run
+	for i := 0; i < b.N; i++ {
+		runs = fig11Runs(b)
+	}
+	b.Log("\n" + experiment.FormatFig11(runs, 0))
+}
+
+func BenchmarkFig12QualityTradeoff(b *testing.B) {
+	var runs []experiment.Fig11Run
+	for i := 0; i < b.N; i++ {
+		runs = fig11Runs(b)
+	}
+	b.Log("\n" + experiment.FormatFig12(runs))
+	for _, r := range runs {
+		switch r.Policy {
+		case adapt.PolicyWASP:
+			b.ReportMetric(r.Result.ProcessedPct, "wasp_processed_%")
+		case adapt.PolicyDegrade:
+			b.ReportMetric(r.Result.ProcessedPct, "degrade_processed_%")
+		}
+	}
+}
+
+func BenchmarkFig13StateMigration(b *testing.B) {
+	var runs []experiment.Fig13Run
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = experiment.RunFig13(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.FormatFig13(runs))
+	for _, r := range runs {
+		if r.Strategy == adapt.MigrateNetworkAware {
+			b.ReportMetric(r.Overhead.Total().Seconds(), "wasp_overhead_s")
+		}
+		if r.Strategy == adapt.MigrateDistant {
+			b.ReportMetric(r.Overhead.Total().Seconds(), "distant_overhead_s")
+		}
+	}
+}
+
+func BenchmarkFig14StatePartitioning(b *testing.B) {
+	var runs []experiment.Fig14Run
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = experiment.RunFig14(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.FormatFig14(runs))
+	for _, r := range runs {
+		if r.StateMB == 512 {
+			name := "default_512MB_overhead_s"
+			if r.Partitioned {
+				name = "partitioned_512MB_overhead_s"
+			}
+			b.ReportMetric(r.Overhead.Total().Seconds(), name)
+		}
+	}
+}
+
+// BenchmarkExtStragglerRecovery runs the straggler extension: a slow node
+// under the Top-K query, WASP vs No Adapt.
+func BenchmarkExtStragglerRecovery(b *testing.B) {
+	var runs []experiment.StragglerRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		runs, err = experiment.RunStraggler(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.FormatStraggler(runs))
+}
+
+// BenchmarkAblationAlpha sweeps the α bandwidth-headroom threshold (§4.1).
+func BenchmarkAblationAlpha(b *testing.B) {
+	var rows []experiment.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunAlphaAblation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.FormatAblation("Ablation: bandwidth headroom α", rows))
+}
+
+// BenchmarkAblationMonitorInterval sweeps the adaptation period (§8.2).
+func BenchmarkAblationMonitorInterval(b *testing.B) {
+	var rows []experiment.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiment.RunMonitorIntervalAblation(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + experiment.FormatAblation("Ablation: monitoring interval", rows))
+}
+
+// BenchmarkEngineTick measures the raw flow-mode engine throughput (ticks
+// per second of a deployed Top-K pipeline) — the substrate cost underlying
+// every experiment above.
+func BenchmarkEngineTick(b *testing.B) {
+	res, err := experiment.Run(experiment.Scenario{
+		Name:     "bench-engine",
+		Seed:     benchSeed,
+		Duration: time.Duration(b.N+1) * 250 * time.Millisecond,
+		Adapt:    experiment.AdaptConfig(adapt.PolicyNone),
+		Engine:   experiment.EngineConfig(adapt.PolicyNone),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+}

@@ -1,0 +1,156 @@
+// Command waspbench regenerates the tables and figures of the WASP
+// paper's evaluation (§8) on the emulated wide-area testbed.
+//
+// Usage:
+//
+//	waspbench -experiment all
+//	waspbench -experiment fig8 -seed 3
+//	waspbench -experiment fig11 -duration 30m
+//
+// Experiments: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 tab2
+// tab3, the extensions (straggler, ablation-alpha, ablation-monitor,
+// ablation-constraints), or "all". Figures 8/9 and 11/12 share underlying
+// runs; requesting either member executes the runs once and prints the
+// requested panels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/experiment"
+)
+
+func main() {
+	var (
+		name     = flag.String("experiment", "all", "experiment id (fig2..fig14, tab2, tab3, straggler, ablation-*, all)")
+		seed     = flag.Int64("seed", 1, "deterministic seed for topology and traces")
+		duration = flag.Duration("duration", 0, "override run duration (0 = paper default)")
+	)
+	flag.Parse()
+	if err := run(strings.ToLower(*name), *seed, *duration); err != nil {
+		fmt.Fprintln(os.Stderr, "waspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, seed int64, duration time.Duration) error {
+	wants := func(ids ...string) bool {
+		if name == "all" {
+			return true
+		}
+		for _, id := range ids {
+			if name == id {
+				return true
+			}
+		}
+		return false
+	}
+	ran := false
+
+	if wants("fig2") {
+		fmt.Println(experiment.Fig2(42))
+		ran = true
+	}
+	if wants("fig7") {
+		fmt.Println(experiment.Fig7(seed))
+		ran = true
+	}
+	if wants("tab2", "table2") {
+		fmt.Println(experiment.Table2())
+		ran = true
+	}
+	if wants("tab3", "table3") {
+		fmt.Println(experiment.Table3())
+		ran = true
+	}
+	if wants("fig8", "fig9") {
+		runs, err := experiment.RunFig8(seed, duration)
+		if err != nil {
+			return err
+		}
+		if wants("fig8") {
+			fmt.Println(experiment.FormatFig8(runs, duration))
+		}
+		if wants("fig9") {
+			fmt.Println(experiment.FormatFig9(runs, duration))
+		}
+		ran = true
+	}
+	if wants("fig10") {
+		runs, err := experiment.RunFig10(seed, duration)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatFig10(runs, duration))
+		ran = true
+	}
+	if wants("fig11", "fig12") {
+		runs, err := experiment.RunFig11(seed, duration)
+		if err != nil {
+			return err
+		}
+		if wants("fig11") {
+			fmt.Println(experiment.FormatFig11(runs, duration))
+		}
+		if wants("fig12") {
+			fmt.Println(experiment.FormatFig12(runs))
+		}
+		ran = true
+	}
+	if wants("fig13") {
+		runs, err := experiment.RunFig13(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatFig13(runs))
+		ran = true
+	}
+	if wants("fig14") {
+		runs, err := experiment.RunFig14(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatFig14(runs))
+		ran = true
+	}
+	if wants("straggler") {
+		runs, err := experiment.RunStraggler(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatStraggler(runs))
+		ran = true
+	}
+	if wants("ablation-alpha") {
+		rows, err := experiment.RunAlphaAblation(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatAblation("Ablation: bandwidth headroom α (§4.1)", rows))
+		ran = true
+	}
+	if wants("ablation-monitor") {
+		rows, err := experiment.RunMonitorIntervalAblation(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatAblation("Ablation: monitoring interval (§8.2)", rows))
+		ran = true
+	}
+	if wants("ablation-constraints") {
+		rows, err := experiment.RunConstraintAblation(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.FormatAblation("Ablation: weighted vs conservative bandwidth constraints (actions = schedulable variants; mean delay column = plan cost)", rows))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunStaticExperiments(t *testing.T) {
+	for _, id := range []string{"fig2", "fig7", "tab2", "tab3", "table2"} {
+		if err := run(id, 1, 0); err != nil {
+			t.Errorf("run(%q): %v", id, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", 1, 0); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunShortenedDynamicExperiment(t *testing.T) {
+	if err := run("fig9", 1, 250*time.Second); err != nil {
+		t.Fatalf("run(fig9): %v", err)
+	}
+}

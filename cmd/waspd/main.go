@@ -1,0 +1,156 @@
+// Command waspd runs one WASP wide-area deployment end to end: it builds
+// the §8.2 testbed (8 edge + 8 data-center sites), plans and deploys one
+// of the evaluation queries, drives scripted dynamics against it under a
+// chosen adaptation policy, and prints the adaptation log plus the
+// delay/ratio summary.
+//
+// Usage:
+//
+//	waspd -query topk -policy wasp -duration 25m \
+//	      -workload 1,2,1,1,1 -bandwidth 1,1,1,0.5,1
+//	waspd -query ysb -policy degrade -fail-at 9m -fail-for 1m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/experiment"
+	"github.com/wasp-stream/wasp/internal/trace"
+)
+
+func main() {
+	var (
+		query     = flag.String("query", "topk", "query: ysb | topk | eoi")
+		policy    = flag.String("policy", "wasp", "policy: none | degrade | reassign | scale | replan | wasp")
+		duration  = flag.Duration("duration", 25*time.Minute, "virtual run duration")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		rate      = flag.Float64("rate", 10000, "initial events/s per source")
+		workload  = flag.String("workload", "1", "comma-separated workload factors, one per equal phase")
+		bandwidth = flag.String("bandwidth", "1", "comma-separated bandwidth factors, one per equal phase")
+		live      = flag.Bool("live", false, "use live per-link/per-source variation traces instead of phases")
+		failAt    = flag.Duration("fail-at", 0, "inject a full failure at this time (0 = none)")
+		failFor   = flag.Duration("fail-for", time.Minute, "failure outage length")
+	)
+	flag.Parse()
+	if err := run(*query, *policy, *duration, *seed, *rate, *workload, *bandwidth, *live, *failAt, *failFor); err != nil {
+		fmt.Fprintln(os.Stderr, "waspd:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(s string) (adapt.Policy, error) {
+	switch strings.ToLower(s) {
+	case "none", "no-adapt":
+		return adapt.PolicyNone, nil
+	case "degrade":
+		return adapt.PolicyDegrade, nil
+	case "reassign", "re-assign":
+		return adapt.PolicyReassign, nil
+	case "scale":
+		return adapt.PolicyScale, nil
+	case "replan", "re-plan":
+		return adapt.PolicyReplan, nil
+	case "wasp":
+		return adapt.PolicyWASP, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func parseFactors(s string, phase time.Duration) (*trace.Trace, error) {
+	parts := strings.Split(s, ",")
+	factors := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad factor %q: %w", p, err)
+		}
+		factors = append(factors, f)
+	}
+	return trace.Steps(phase, factors...), nil
+}
+
+func run(query, policyName string, duration time.Duration, seed int64, rate float64,
+	workload, bandwidth string, live bool, failAt, failFor time.Duration) error {
+
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	builder, err := experiment.QueryByName(query)
+	if err != nil {
+		return err
+	}
+
+	sc := experiment.Scenario{
+		Name:          fmt.Sprintf("%s/%s", query, policy),
+		Seed:          seed,
+		Duration:      duration,
+		Query:         builder,
+		RatePerSource: rate,
+		Engine:        experiment.EngineConfig(policy),
+		Adapt:         experiment.AdaptConfig(policy),
+	}
+	if live {
+		sc.PerLinkBandwidth = true
+		sc.PerSourceWorkload = true
+	} else {
+		phases := len(strings.Split(workload, ","))
+		if b := len(strings.Split(bandwidth, ",")); b > phases {
+			phases = b
+		}
+		phase := duration / time.Duration(phases)
+		if sc.Workload, err = parseFactors(workload, phase); err != nil {
+			return err
+		}
+		if sc.Bandwidth, err = parseFactors(bandwidth, phase); err != nil {
+			return err
+		}
+	}
+	if failAt > 0 {
+		sc.FailAt, sc.FailFor = failAt, failFor
+	}
+
+	fmt.Printf("waspd: running %s under policy %s for %v (seed %d)\n", query, policy, duration, seed)
+	res, err := experiment.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nAdaptation log:")
+	if len(res.Actions) == 0 {
+		fmt.Println("  (no adaptations)")
+	}
+	for _, a := range res.Actions {
+		fmt.Printf("  t=%5ds %-10s op=%-3d %s\n",
+			int(time.Duration(a.At).Seconds()), a.Kind, a.Op, a.Detail)
+	}
+
+	fmt.Println("\nDelay over time (s):")
+	var rows [][]string
+	n := 6
+	bucket := duration / time.Duration(n)
+	for i := 0; i < n; i++ {
+		from := time.Duration(i) * bucket
+		rows = append(rows, []string{
+			fmt.Sprintf("[%d,%d)", int(from.Seconds()), int((from + bucket).Seconds())),
+			experiment.Fmt(res.MeanDelayBetween(from, from+bucket)),
+			experiment.Fmt(res.MeanRatioBetween(from, from+bucket)),
+		})
+	}
+	fmt.Print(experiment.Table([]string{"interval", "avg delay", "ratio"}, rows))
+
+	fmt.Printf("\nSummary: generated=%.0f delivered=%.0f dropped=%.0f processed=%.1f%%\n",
+		res.Generated, res.Delivered, res.Dropped, res.ProcessedPct)
+	fmt.Printf("Delay percentiles (s): p50=%s p95=%s p99=%s\n",
+		experiment.Fmt(res.DelayPercentile(0.50)),
+		experiment.Fmt(res.DelayPercentile(0.95)),
+		experiment.Fmt(res.DelayPercentile(0.99)))
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+func TestParsePolicy(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    adapt.Policy
+		wantErr bool
+	}{
+		{give: "wasp", want: adapt.PolicyWASP},
+		{give: "WASP", want: adapt.PolicyWASP},
+		{give: "none", want: adapt.PolicyNone},
+		{give: "no-adapt", want: adapt.PolicyNone},
+		{give: "degrade", want: adapt.PolicyDegrade},
+		{give: "re-assign", want: adapt.PolicyReassign},
+		{give: "scale", want: adapt.PolicyScale},
+		{give: "replan", want: adapt.PolicyReplan},
+		{give: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parsePolicy(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parsePolicy(%q) accepted", tt.give)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("parsePolicy(%q) = %v, %v", tt.give, got, err)
+		}
+	}
+}
+
+func TestParseFactors(t *testing.T) {
+	tr, err := parseFactors("1, 2 ,0.5", 100*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 1},
+		{150 * time.Second, 2},
+		{250 * time.Second, 0.5},
+		{999 * time.Second, 0.5},
+	}
+	for _, tt := range tests {
+		if got := tr.At(vclock.Time(tt.at)); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+	if _, err := parseFactors("1,x", time.Second); err == nil {
+		t.Error("bad factor accepted")
+	}
+}
+
+func TestRunShortScenario(t *testing.T) {
+	err := run("eoi", "wasp", 2*time.Minute, 1, 1000, "1,2", "1,1", false, 0, time.Minute)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("nope", "wasp", time.Minute, 1, 1000, "1", "1", false, 0, 0); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+	if err := run("eoi", "nope", time.Minute, 1, 1000, "1", "1", false, 0, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

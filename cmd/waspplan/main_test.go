@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestRunAllQueries(t *testing.T) {
+	for _, q := range []string{"ysb", "topk", "eoi"} {
+		if err := run(q, 1, 3, 20, 10000); err != nil {
+			t.Errorf("run(%q): %v", q, err)
+		}
+	}
+}
+
+func TestRunUnknownQuery(t *testing.T) {
+	if err := run("nope", 1, 3, 20, 10000); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package wasp is a from-scratch Go reproduction of "WASP: Wide-area
+// Adaptive Stream Processing" (Jonathan, Chandra, Weissman — Middleware
+// '20): a WAN-aware adaptation framework for geo-distributed stream
+// processing that combines task re-assignment, operator scaling, and
+// query re-planning, with network-aware state migration.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory), with runnable binaries under cmd/ and runnable examples
+// under examples/. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation; EXPERIMENTS.md records the
+// paper-versus-measured comparison.
+package wasp

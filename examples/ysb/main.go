@@ -1,0 +1,95 @@
+// YSB: run the Yahoo Streaming Benchmark Advertising Campaign query in
+// record mode — filter ad views, join with the campaign table, count per
+// campaign per 10-second window — over a synthetic 60-second YSB stream
+// split across 4 sources, then verify the counts against an oracle and
+// demonstrate a checkpoint/restore of the windowed state.
+//
+//	go run ./examples/ysb
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/queries"
+	"github.com/wasp-stream/wasp/internal/stream"
+	"github.com/wasp-stream/wasp/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ysb:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const sources = 4
+	events := workload.GenerateYSB(workload.YSBConfig{
+		Seed: 7, Rate: 5000, Duration: 60 * time.Second, Campaigns: 20,
+	})
+	fmt.Printf("generated %d ad events across %d campaigns\n", len(events), 20)
+
+	rp := queries.BuildYSBRecord(sources, 10*time.Second)
+	inputs := stream.Inputs{}
+	for i, e := range workload.YSBStream(events) {
+		src := rp.Sources[i%sources]
+		inputs[src] = append(inputs[src], e)
+	}
+	if err := rp.Pipeline.Run(inputs, stream.RunConfig{WatermarkEvery: time.Second}); err != nil {
+		return err
+	}
+	out := rp.Pipeline.SinkEvents(rp.Sink)
+
+	// Aggregate per campaign across windows for a compact report.
+	totals := make(map[string]int64)
+	for _, e := range out {
+		totals[e.Key] += e.Value.(int64)
+	}
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return totals[keys[i]] > totals[keys[j]] })
+
+	fmt.Println("\ntop campaigns by counted views (all windows):")
+	for i, k := range keys {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-4s %6d views\n", k, totals[k])
+	}
+
+	// Oracle check: the pipeline must count exactly the view events.
+	var views int64
+	for _, e := range events {
+		if e.EventType == workload.AdView {
+			views++
+		}
+	}
+	var counted int64
+	for _, v := range totals {
+		counted += v
+	}
+	fmt.Printf("\noracle: %d view events, pipeline counted %d — match: %v\n",
+		views, counted, views == counted)
+
+	// Checkpoint/restore demo on the windowed counter (WASP's localized
+	// checkpointing snapshots exactly this state).
+	counter := stream.Count(10 * time.Second)
+	counter.OnEvent(0, stream.Event{Time: 0, Key: "c1"}, func(stream.Event) {})
+	counter.OnEvent(0, stream.Event{Time: 0, Key: "c1"}, func(stream.Event) {})
+	snap, err := counter.SnapshotState()
+	if err != nil {
+		return err
+	}
+	restored := stream.Count(10 * time.Second)
+	if err := restored.RestoreState(snap); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint demo: snapshot %d bytes, restored live accumulators: %d\n",
+		len(snap), restored.StateSize())
+	return nil
+}

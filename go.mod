@@ -1,0 +1,3 @@
+module github.com/wasp-stream/wasp
+
+go 1.22

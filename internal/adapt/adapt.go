@@ -1,0 +1,490 @@
+// Package adapt implements WASP's adaptation framework — the paper's core
+// contribution. A Controller periodically gathers runtime metrics from the
+// flow-mode engine (the Global Metric Monitor), diagnoses unhealthy or
+// wasteful executions, and applies the appropriate adaptation action
+// following the §6.2 decision policy (Figure 6):
+//
+//   - compute-bound operators scale UP (preferring slots at their current
+//     sites) with p′ = ⌈λ̂I/λP·p⌉;
+//   - network-bound stateless executions re-plan the whole pipeline;
+//   - network-bound stateful executions first try task re-assignment
+//     (the Eq. 1–5 program over both upstream and downstream
+//     deployments); if no placement exists or the estimated migration
+//     overhead exceeds t_max, they scale OUT across sites (partitioning
+//     state); if p′ would exceed p_max, or the operator cannot be split,
+//     they re-plan;
+//   - over-provisioned operators scale DOWN one task per round;
+//   - state migrations are network-aware: the (S−S′)→(S′−S) mapping
+//     minimizes the slowest transfer (§5).
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/metrics"
+	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Policy selects which adaptation repertoire the controller may use — the
+// comparison arms of §8.4–8.6.
+type Policy int
+
+// Policies.
+const (
+	// PolicyNone never adapts (the "No Adapt" baseline).
+	PolicyNone Policy = iota + 1
+	// PolicyDegrade never re-optimizes; the engine drops late events
+	// (configure engine.Config.DropLate).
+	PolicyDegrade
+	// PolicyReassign only re-assigns tasks at fixed parallelism.
+	PolicyReassign
+	// PolicyScale re-assigns first and scales when re-assignment finds
+	// no placement (the §8.5 "Scale" arm).
+	PolicyScale
+	// PolicyReplan only re-evaluates the logical+physical plan at fixed
+	// parallelism.
+	PolicyReplan
+	// PolicyWASP is the full Figure 6 decision policy.
+	PolicyWASP
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "no-adapt"
+	case PolicyDegrade:
+		return "degrade"
+	case PolicyReassign:
+		return "re-assign"
+	case PolicyScale:
+		return "scale"
+	case PolicyReplan:
+		return "re-plan"
+	case PolicyWASP:
+		return "wasp"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// MigrationStrategy selects how migrating tasks are mapped to destination
+// sites (the §8.7.1 comparison).
+type MigrationStrategy int
+
+// Migration strategies.
+const (
+	// MigrateNetworkAware solves the minmax bottleneck assignment (§5).
+	MigrateNetworkAware MigrationStrategy = iota + 1
+	// MigrateRandom assigns destinations in arbitrary (placement) order,
+	// ignoring bandwidth.
+	MigrateRandom
+	// MigrateDistant deliberately picks the slowest links (worst case).
+	MigrateDistant
+	// MigrateNone skips state transfer entirely (accuracy loss; the "No
+	// Migrate" baseline).
+	MigrateNone
+)
+
+// ActionKind labels a performed adaptation.
+type ActionKind int
+
+// Action kinds.
+const (
+	ActionReassign ActionKind = iota + 1
+	ActionScaleUp
+	ActionScaleOut
+	ActionScaleDown
+	ActionReplan
+)
+
+// String names the action kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionReassign:
+		return "re-assign"
+	case ActionScaleUp:
+		return "scale-up"
+	case ActionScaleOut:
+		return "scale-out"
+	case ActionScaleDown:
+		return "scale-down"
+	case ActionReplan:
+		return "re-plan"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one adaptation the controller performed.
+type Action struct {
+	At     vclock.Time
+	Kind   ActionKind
+	Op     plan.OpID
+	Detail string
+}
+
+// ReplanSpec gives the controller what it needs to re-plan a query: the
+// (logically optimized) base graph, the re-orderable combine group, and
+// the currently deployed variant.
+type ReplanSpec struct {
+	Base    *plan.Graph
+	Spec    *plan.CombineSpec
+	Current *plan.Variant
+}
+
+// Config parameterises the controller. Zero fields take the paper's
+// defaults (§8.2).
+type Config struct {
+	Policy Policy
+	// Alpha is the bandwidth utilization threshold (default 0.8).
+	Alpha float64
+	// MonitorInterval is the adaptation period (default 40 s).
+	MonitorInterval time.Duration
+	// Tolerance is the relative slack for health checks (default 0.05).
+	Tolerance float64
+	// PMax caps per-operator parallelism (default 3).
+	PMax int
+	// TMax is the migration-overhead threshold t_max: re-assignments
+	// whose estimated transition exceeds it scale out and partition
+	// state instead (default 30 s).
+	TMax time.Duration
+	// SlotRate mirrors the engine's per-slot capacity for sizing
+	// decisions (default 25000).
+	SlotRate float64
+	// ScaleDownUtil triggers scale-down when expected input would still
+	// fit in (p−1) tasks at this utilization (default 0.5).
+	ScaleDownUtil float64
+	// QueueAlarmSec treats an operator as compute-bound when its input
+	// backlog exceeds this many seconds of processing (default 8 s).
+	QueueAlarmSec float64
+	// DrainTargetSec sizes post-backlog scale-ups so queues drain within
+	// this horizon (default 60 s).
+	DrainTargetSec float64
+	// Migration selects the state-migration mapping strategy (default
+	// network-aware).
+	Migration MigrationStrategy
+	// ForcePartition, with TMax, enables the §8.7.2 "Partitioned" mode:
+	// re-assignments exceeding TMax are converted into scale-outs that
+	// partition the state. The full WASP policy always does this;
+	// ForcePartition extends it to PolicyReassign for ablations.
+	ForcePartition bool
+	// LongTermReplanEvery, when > 0, periodically re-evaluates the query
+	// plan in the background even while the execution is healthy — the
+	// §6.2 treatment of long-term, predictable dynamics (e.g. the daily
+	// workload shift). Zero disables it.
+	LongTermReplanEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == 0 {
+		c.Policy = PolicyWASP
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.8
+	}
+	if c.MonitorInterval == 0 {
+		c.MonitorInterval = 40 * time.Second
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.05
+	}
+	if c.PMax == 0 {
+		c.PMax = 3
+	}
+	if c.TMax == 0 {
+		c.TMax = 30 * time.Second
+	}
+	if c.SlotRate == 0 {
+		c.SlotRate = 25000
+	}
+	if c.ScaleDownUtil == 0 {
+		c.ScaleDownUtil = 0.5
+	}
+	if c.QueueAlarmSec == 0 {
+		c.QueueAlarmSec = 8
+	}
+	if c.DrainTargetSec == 0 {
+		c.DrainTargetSec = 60
+	}
+	if c.Migration == 0 {
+		c.Migration = MigrateNetworkAware
+	}
+	return c
+}
+
+// Controller is WASP's Reconfiguration Manager + Global Metric Monitor.
+type Controller struct {
+	cfg    Config
+	eng    *engine.Engine
+	top    *topology.Topology
+	net    *netsim.Network
+	sched  *vclock.Scheduler
+	replan *ReplanSpec
+
+	ticker         *vclock.Event
+	longTerm       *vclock.Event
+	actions        []Action
+	lastActionAt   vclock.Time
+	quietRounds    int
+	lastRateFactor float64
+}
+
+// NewController wires a controller to a deployed engine. replan may be nil
+// for queries without a re-orderable combine group (re-planning then falls
+// back to re-assignment).
+func NewController(cfg Config, eng *engine.Engine, top *topology.Topology, net *netsim.Network, sched *vclock.Scheduler, replan *ReplanSpec) *Controller {
+	return &Controller{
+		cfg:    cfg.withDefaults(),
+		eng:    eng,
+		top:    top,
+		net:    net,
+		sched:  sched,
+		replan: replan,
+	}
+}
+
+// Start begins periodic monitoring (and, if configured, the long-term
+// background re-planning loop).
+func (c *Controller) Start() {
+	if c.ticker != nil {
+		return
+	}
+	c.ticker = c.sched.Every(c.cfg.MonitorInterval, c.Round)
+	if c.cfg.LongTermReplanEvery > 0 {
+		c.longTerm = c.sched.Every(c.cfg.LongTermReplanEvery, c.LongTermRound)
+	}
+}
+
+// Stop halts monitoring.
+func (c *Controller) Stop() {
+	if c.ticker != nil {
+		c.ticker.Cancel()
+		c.ticker = nil
+	}
+	if c.longTerm != nil {
+		c.longTerm.Cancel()
+		c.longTerm = nil
+	}
+}
+
+// LongTermRound re-evaluates the query plan against the current workload
+// and bandwidth in the background, independent of health diagnosis (§6.2:
+// long-term dynamics follow predictable patterns and are handled by
+// periodic re-planning rather than reactive adaptation). A switch only
+// happens when a strictly better schedulable variant exists.
+func (c *Controller) LongTermRound(now vclock.Time) {
+	if c.cfg.Policy != PolicyWASP && c.cfg.Policy != PolicyReplan {
+		return
+	}
+	if c.eng.Replanning() || c.eng.Failed() {
+		return
+	}
+	g := c.eng.Plan().Graph
+	for _, id := range g.OperatorIDs() {
+		if c.eng.Reconfiguring(id) {
+			return
+		}
+	}
+	c.tryReplan(g.OperatorIDs()[0], "long-term background re-evaluation")
+}
+
+// Actions returns the adaptations performed so far.
+func (c *Controller) Actions() []Action {
+	out := make([]Action, len(c.actions))
+	copy(out, c.actions)
+	return out
+}
+
+func (c *Controller) record(kind ActionKind, op plan.OpID, detail string) {
+	now := c.sched.Now()
+	c.actions = append(c.actions, Action{At: now, Kind: kind, Op: op, Detail: detail})
+	c.lastActionAt = now
+	c.quietRounds = 0
+}
+
+// Round runs one monitoring + adaptation round (normally driven by the
+// internal ticker; exported for tests and manual stepping).
+func (c *Controller) Round(now vclock.Time) {
+	snap := c.eng.Sample()
+	if c.cfg.Policy == PolicyNone || c.cfg.Policy == PolicyDegrade {
+		return
+	}
+	// Let in-flight adaptations and failure outages settle first.
+	if c.eng.Replanning() || c.eng.Failed() {
+		return
+	}
+	g := c.eng.Plan().Graph
+	for _, id := range g.OperatorIDs() {
+		if c.eng.Reconfiguring(id) {
+			return
+		}
+	}
+
+	expectedIn, _, err := metrics.EstimateActual(g, snap)
+	if err != nil {
+		return
+	}
+	c.lastRateFactor = c.measuredRateFactor(snap)
+
+	if c.adaptBottleneck(now, snap, expectedIn) {
+		return
+	}
+	c.quietRounds++
+	c.maybeScaleDown(now, snap, expectedIn)
+}
+
+// adaptBottleneck finds the first unhealthy operator in topological order
+// and applies the policy's action. It reports whether an action was taken.
+func (c *Controller) adaptBottleneck(now vclock.Time, snap *metrics.Snapshot, expectedIn map[plan.OpID]float64) bool {
+	g := c.eng.Plan().Graph
+	order, err := g.TopoOrder()
+	if err != nil {
+		return false
+	}
+	for _, id := range order {
+		op := g.Operator(id)
+		if op.Kind == plan.KindSource || op.Kind == plan.KindSink {
+			continue
+		}
+		cond := c.diagnose(id, snap, expectedIn)
+		if cond == metrics.Healthy {
+			continue
+		}
+		return c.act(now, id, cond, snap, expectedIn)
+	}
+	return false
+}
+
+// diagnose classifies an operator's condition using the actual-workload
+// estimate (§3.3) and queue locations: a large input backlog means the
+// operator itself cannot keep up (compute); depressed arrivals with small
+// input queues mean the links upstream are the constraint (network). An
+// operator whose *send* queues are backed up is not itself the bottleneck
+// — the constrained link manifests at its downstream consumer, which this
+// round flags as network-constrained instead.
+func (c *Controller) diagnose(id plan.OpID, snap *metrics.Snapshot, expectedIn map[plan.OpID]float64) metrics.Condition {
+	s := snap.Ops[id]
+	capacity := c.capacityOf(id, s.Tasks)
+	sendHeavy := s.SendQueueLen > 2*maxFloat(s.OutputRate, 1)
+	if !sendHeavy && s.InputQueueLen > capacity*c.cfg.QueueAlarmSec {
+		return metrics.ComputeConstrained
+	}
+	want := expectedIn[id]
+	if s.ProcessingRate >= want*(1-c.cfg.Tolerance) {
+		return metrics.Healthy
+	}
+	if sendHeavy {
+		// Throttled by a constrained outbound link: the downstream
+		// operator carries the network-constrained diagnosis.
+		return metrics.Healthy
+	}
+	if s.InputQueueLen > capacity*1.0 { // >1 s of backlog and falling behind
+		return metrics.ComputeConstrained
+	}
+	return metrics.NetworkConstrained
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// capacityOf returns an operator's aggregate processing capacity in
+// events/s at the given parallelism.
+func (c *Controller) capacityOf(id plan.OpID, tasks int) float64 {
+	op := c.eng.Plan().Graph.Operator(id)
+	cost := op.CostPerEvent
+	if cost <= 0 {
+		cost = 1
+	}
+	return float64(tasks) * c.cfg.SlotRate / cost
+}
+
+// act dispatches the policy decision for one bottleneck operator (Fig 6).
+func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, snap *metrics.Snapshot, expectedIn map[plan.OpID]float64) bool {
+	op := c.eng.Plan().Graph.Operator(id)
+	switch c.cfg.Policy {
+	case PolicyReassign:
+		// Re-assignment only, still subject to the §6.2 overhead check:
+		// a placement whose state migration would exceed t_max is not an
+		// acceptable solution. With ForcePartition (the §8.7.2
+		// "Partitioned" mode) an over-budget migration converts into a
+		// scale-out that partitions the state; otherwise this arm simply
+		// does not adapt — the paper's t=600 behaviour.
+		feasible, overhead := c.previewReassign(id)
+		if !feasible {
+			return false
+		}
+		if overhead > vclock.Time(c.cfg.TMax) {
+			if c.cfg.ForcePartition {
+				return c.scaleToPartition(id)
+			}
+			return false
+		}
+		return c.tryReassign(id)
+	case PolicyReplan:
+		return c.tryReplan(id, "bottleneck "+cond.String())
+	case PolicyScale:
+		// §8.5's Scale arm: re-assign first, but fall back to operator
+		// scaling when no placement exists at the current parallelism or
+		// the migration overhead exceeds t_max (§6.2).
+		if cond == metrics.ComputeConstrained {
+			return c.scaleForCompute(id, snap, expectedIn)
+		}
+		feasible, overhead := c.previewReassign(id)
+		if feasible && overhead <= vclock.Time(c.cfg.TMax) {
+			if c.tryReassign(id) {
+				return true
+			}
+		}
+		if c.scaleForNetwork(id, expectedIn) {
+			return true
+		}
+		return c.tryReassign(id)
+	case PolicyWASP:
+		// Figure 6.
+		if cond == metrics.ComputeConstrained {
+			return c.scaleForCompute(id, snap, expectedIn)
+		}
+		// Network-constrained.
+		if !op.Stateful {
+			if c.tryReplan(id, "network-bound stateless pipeline") {
+				return true
+			}
+			// No alternative plan: fall through to physical adaptation.
+		}
+		if !op.Splittable {
+			return c.tryReplan(id, "operator cannot be split")
+		}
+		feasible, overhead := c.previewReassign(id)
+		if feasible && overhead <= vclock.Time(c.cfg.TMax) {
+			return c.tryReassign(id)
+		}
+		if feasible && overhead > vclock.Time(c.cfg.TMax) {
+			// Migration too expensive: scale out to partition state; if
+			// the parallelism cap blocks that, re-plan (Fig 6). Executing
+			// the over-budget migration is never an option — suspending
+			// the stage longer than t_max costs more than it fixes.
+			if c.scaleForNetwork(id, expectedIn) {
+				return true
+			}
+			return c.tryReplan(id, "migration over t_max and p at p_max")
+		}
+		// No placement at the current parallelism: scale out, and
+		// re-plan if even that fails (p′ > p_max or no slots).
+		if c.scaleForNetwork(id, expectedIn) {
+			return true
+		}
+		return c.tryReplan(id, "scale-out infeasible")
+	default:
+		return false
+	}
+}

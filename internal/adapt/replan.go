@@ -1,0 +1,103 @@
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wasp-stream/wasp/internal/physical"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// tryReplan re-evaluates the logical + physical plan jointly (§4.3). For
+// executions with stateful combine operators, only variants containing
+// common sub-plans over the stateful operators are admissible; the state
+// (and queued backlog) of surviving operators carries over. It reports
+// whether a plan switch was initiated.
+func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
+	if c.replan == nil || c.replan.Spec == nil || c.replan.Current == nil {
+		return false
+	}
+	statefulTemplate := c.replan.Spec.Template.Stateful
+	// Tumbling-window combine state can switch plans at window
+	// boundaries (§4.3); the engine's drain-then-switch realizes the
+	// boundary, so windowed stateful templates do not restrict
+	// admissibility.
+	requireAdmissible := statefulTemplate && c.replan.Spec.Template.Window == 0
+
+	cfg := physical.PlannerConfig{ScheduleConfig: c.scheduleConfig(c.lastRateFactor)}
+	best, _, err := physical.ReplanQuery(c.replan.Base, c.replan.Spec, c.replan.Current, requireAdmissible, c.top, cfg)
+	if err != nil {
+		return false
+	}
+	if sameTree(best.Variant, c.replan.Current) {
+		return false // already running the best plan
+	}
+
+	carry := c.carryMap(c.replan.Current, best.Variant)
+	newVariant := best.Variant
+	if err := c.eng.BeginReplan(best.Plan, carry, func(vclock.Time) {
+		c.replan.Current = newVariant
+	}); err != nil {
+		return false
+	}
+	c.record(ActionReplan, id, fmt.Sprintf("%s: switch to %v", reason, best.Variant.Tree))
+	return true
+}
+
+// carryMap maps old operator IDs to new ones for every operator whose
+// backlog and state must survive a plan switch: all base-graph operators
+// (identical IDs in every variant, since Expand clones the base) and the
+// combine nodes whose LeafSets appear in both variants.
+func (c *Controller) carryMap(cur, next *plan.Variant) map[plan.OpID]plan.OpID {
+	carry := make(map[plan.OpID]plan.OpID)
+	// Base operators: same IDs across variants.
+	curCombine := make(map[plan.OpID]bool, len(cur.CombineNodes))
+	for opID := range cur.CombineNodes {
+		curCombine[opID] = true
+	}
+	for _, opID := range cur.Graph.OperatorIDs() {
+		if curCombine[opID] {
+			continue
+		}
+		if next.Graph.Operator(opID) != nil {
+			carry[opID] = opID
+		}
+	}
+	// Combine nodes: match by LeafSet.
+	bySet := make(map[plan.LeafSet]plan.OpID, len(next.CombineNodes))
+	for opID, set := range next.CombineNodes {
+		bySet[set] = opID
+	}
+	for opID, set := range cur.CombineNodes {
+		if newID, ok := bySet[set]; ok {
+			carry[opID] = newID
+		}
+	}
+	return carry
+}
+
+// sameTree reports whether two variants have identical combine structure
+// (the set of internal LeafSets determines an unordered tree uniquely).
+func sameTree(a, b *plan.Variant) bool {
+	if len(a.CombineNodes) != len(b.CombineNodes) {
+		return false
+	}
+	as := leafSets(a)
+	bs := leafSets(b)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func leafSets(v *plan.Variant) []plan.LeafSet {
+	out := make([]plan.LeafSet, 0, len(v.CombineNodes))
+	for _, set := range v.CombineNodes {
+		out = append(out, set)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,54 @@
+package adapt
+
+// TechniqueProfile is one row of the paper's Table 2: the qualitative
+// comparison between adaptation techniques.
+type TechniqueProfile struct {
+	Technique        string
+	Adaptation       string
+	Applicability    string
+	Granularity      string
+	Overhead         string
+	QualityReduction string
+}
+
+// Table2 returns the qualitative comparison between adaptation techniques
+// for streaming analytics queries, exactly as the paper's Table 2 states
+// it. The overhead column excludes cross-site state migration; query
+// re-planning reduces quality only if state is incompatible with (or
+// ignored by) the new plan.
+func Table2() []TechniqueProfile {
+	return []TechniqueProfile{
+		{
+			Technique:        "Task Re-Assignment",
+			Adaptation:       "Task deployment",
+			Applicability:    "General",
+			Granularity:      "Stage",
+			Overhead:         "Low",
+			QualityReduction: "No",
+		},
+		{
+			Technique:        "Operator Scaling",
+			Adaptation:       "Operator parallelism",
+			Applicability:    "General",
+			Granularity:      "Stage",
+			Overhead:         "Low",
+			QualityReduction: "No",
+		},
+		{
+			Technique:        "Query Re-Planning",
+			Adaptation:       "Query execution plan",
+			Applicability:    "Query-specific",
+			Granularity:      "Query",
+			Overhead:         "High",
+			QualityReduction: "No*",
+		},
+		{
+			Technique:        "Data Degradation",
+			Adaptation:       "Degradation policy",
+			Applicability:    "Query-specific",
+			Granularity:      "Policy-dependent",
+			Overhead:         "Low",
+			QualityReduction: "Yes",
+		},
+	}
+}

@@ -1,0 +1,683 @@
+// Package engine is WASP's flow-mode wide-area runtime: it executes a
+// physical plan over the netsim WAN emulator using a fluid (rate-based)
+// model of record flow. Tasks are aggregated per (operator, site) into
+// task groups with event-cohort queues; WAN links carry inter-site flows
+// with fair sharing; windowed operators hold cohorts to window boundaries;
+// backpressure throttles upstream senders; failures, state migration, and
+// plan switches are first-class operations.
+//
+// This is the substrate all §8 experiments run on: it reproduces delay,
+// processing-ratio, queueing, migration-stall, and recovery dynamics of
+// the paper's emulated testbed at a tiny fraction of real time, while the
+// record-mode engine (internal/stream) provides exact operator semantics.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/physical"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/trace"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Config parameterises an Engine. Zero fields take the listed defaults.
+type Config struct {
+	// Tick is the simulation step (default 250 ms). Smaller ticks give
+	// finer delay resolution at proportional cost.
+	Tick time.Duration
+	// SlotRate is the per-slot processing capacity in events/s for an
+	// operator with CostPerEvent 1 (default 25000).
+	SlotRate float64
+	// BackpressureSec bounds each queue at this many seconds of work at
+	// the consumer's capacity (default 4 s); full queues throttle
+	// upstream senders and producers.
+	BackpressureSec float64
+	// DropLate enables the Degrade baseline: events whose accumulated
+	// delay exceeds SLO are dropped instead of processed.
+	DropLate bool
+	// SLO is the Degrade latency objective (default 10 s, §8.4).
+	SLO time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick == 0 {
+		c.Tick = 250 * time.Millisecond
+	}
+	if c.SlotRate == 0 {
+		c.SlotRate = 25000
+	}
+	if c.BackpressureSec == 0 {
+		c.BackpressureSec = 4
+	}
+	if c.SLO == 0 {
+		c.SLO = 10 * time.Second
+	}
+	return c
+}
+
+// groupKey identifies a task group: all tasks of one operator at one site.
+type groupKey struct {
+	op   plan.OpID
+	site topology.SiteID
+}
+
+// winAcc accumulates one tumbling window's processed output.
+type winAcc struct {
+	count    float64
+	srcTotal float64 // source-equivalent total (Σ count×worth)
+	maxBorn  vclock.Time
+}
+
+// group is the collective execution of an operator's tasks at one site.
+type group struct {
+	op    *plan.Operator
+	site  topology.SiteID
+	tasks int
+	inQ   cohortQueue
+
+	// Windowed operators buffer processed output per window start.
+	windows map[vclock.Time]*winAcc
+	// maxProcessedBorn is the event-time frontier: windows ending at or
+	// before it fire.
+	maxProcessedBorn vclock.Time
+
+	halted bool
+
+	// Counters since the last Sample call.
+	arrived       float64
+	processed     float64
+	emitted       float64
+	dropped       float64
+	generated     float64 // sources: external events generated
+	backpressured bool
+}
+
+// capacity returns the group's processing budget in events/s.
+func (g *group) capacity(slotRate float64) float64 {
+	cost := g.op.CostPerEvent
+	if cost <= 0 {
+		cost = 1
+	}
+	return float64(g.tasks) * slotRate / cost
+}
+
+// flowKey identifies one inter-site flow of one logical edge.
+type flowKey struct {
+	from, to plan.OpID
+	fromSite topology.SiteID
+	toSite   topology.SiteID
+}
+
+// edgeFlow is the per-(edge, site-pair) sender queue plus its netsim flow
+// (nil for intra-site delivery).
+type edgeFlow struct {
+	key        flowKey
+	q          cohortQueue
+	flow       *netsim.Flow
+	eventBytes float64
+	latency    vclock.Time
+}
+
+// SinkDelivery is one tick's worth of events arriving at a sink.
+type SinkDelivery struct {
+	At    vclock.Time
+	Delay vclock.Time // average delay of this cohort batch
+	Count float64
+}
+
+// Engine runs one job (physical plan) on the WAN emulator.
+type Engine struct {
+	cfg   Config
+	top   *topology.Topology
+	net   *netsim.Network
+	sched *vclock.Scheduler
+
+	plan   *physical.Plan
+	groups map[groupKey]*group
+	flows  map[flowKey]*edgeFlow
+
+	workloadFactor *trace.Trace
+	sourceFactors  map[plan.OpID]*trace.Trace
+	stragglers     map[groupKey]float64 // capacity factor per (op, site)
+
+	ticker  *vclock.Event
+	lastNow vclock.Time
+
+	failedUntil vclock.Time
+
+	reconfigs []*reconfiguration
+	replan    *pendingReplan
+
+	// Sink accounting.
+	sinkArrived    float64
+	sinkDelaySum   float64 // seconds·events
+	deliveries     []SinkDelivery
+	totalGenerated float64
+	totalDelivered float64
+	totalDropped   float64
+
+	// Goodput accounting in source-equivalent units (events at op X are
+	// divided by κ(X), the expected events at X's input per source event
+	// of X's own branch), for the paper's processing-ratio metric (§8.3).
+	// "Processed" events are those transported past the ingest stages
+	// (the operators consuming sources directly) minus any later drops.
+	frontOps         map[plan.OpID]bool // operators fed directly by sources
+	transportedSrc   float64            // delivered past ingest, src equivalents
+	droppedSrcEquiv  float64            // all drops, src equivalents
+	droppedBeyondSrc float64            // drops after ingest, src equivalents
+
+	// lastSample tracks the previous Sample time for rate computation.
+	lastSample vclock.Time
+}
+
+// New creates an engine over the given substrate. The engine does not
+// start ticking until Start.
+func New(cfg Config, top *topology.Topology, net *netsim.Network, sched *vclock.Scheduler) *Engine {
+	return &Engine{
+		cfg:            cfg.withDefaults(),
+		top:            top,
+		net:            net,
+		sched:          sched,
+		groups:         make(map[groupKey]*group),
+		flows:          make(map[flowKey]*edgeFlow),
+		sourceFactors:  make(map[plan.OpID]*trace.Trace),
+		stragglers:     make(map[groupKey]float64),
+		workloadFactor: trace.Constant(1),
+	}
+}
+
+// Plan returns the currently deployed physical plan (nil before Deploy).
+func (e *Engine) Plan() *physical.Plan { return e.plan }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() vclock.Time { return e.sched.Now() }
+
+// SetWorkloadFactor installs a global source-rate factor trace (scripted
+// workload dynamics).
+func (e *Engine) SetWorkloadFactor(tr *trace.Trace) {
+	if tr == nil {
+		tr = trace.Constant(1)
+	}
+	e.workloadFactor = tr
+}
+
+// SetSourceFactor installs a per-source rate factor trace, multiplied with
+// the global factor.
+func (e *Engine) SetSourceFactor(op plan.OpID, tr *trace.Trace) {
+	e.sourceFactors[op] = tr
+}
+
+// InjectStraggler degrades the processing capacity of an operator's tasks
+// at one site to the given factor (0 < factor ≤ 1) — the slow-node
+// dynamic of §1. Factor 1 (or ≥1) clears the straggler.
+func (e *Engine) InjectStraggler(op plan.OpID, site topology.SiteID, factor float64) {
+	key := groupKey{op: op, site: site}
+	if factor >= 1 || factor <= 0 {
+		delete(e.stragglers, key)
+		return
+	}
+	e.stragglers[key] = factor
+}
+
+// stragglerFactor returns the capacity factor for a group (1 = healthy).
+func (e *Engine) stragglerFactor(g *group) float64 {
+	if f, ok := e.stragglers[groupKey{op: g.op.ID, site: g.site}]; ok {
+		return f
+	}
+	return 1
+}
+
+// Deploy installs a validated physical plan, building task groups and
+// inter-site flows. Deploy may only be called once; use ReplacePlan for
+// plan switches.
+func (e *Engine) Deploy(p *physical.Plan) error {
+	if e.plan != nil {
+		return errors.New("engine: already deployed; use BeginReplan")
+	}
+	if err := p.Validate(e.top); err != nil {
+		return err
+	}
+	e.plan = p
+	e.buildGroups()
+	e.rebuildFlows()
+	e.refreshGoodputModel()
+	return nil
+}
+
+// refreshGoodputModel recomputes the set of ingest operators (direct
+// source consumers) used by the goodput counters. Called whenever the
+// plan (graph) changes.
+func (e *Engine) refreshGoodputModel() {
+	e.frontOps = make(map[plan.OpID]bool)
+	g := e.plan.Graph
+	for _, id := range g.Sources() {
+		for _, d := range g.Downstream(id) {
+			e.frontOps[d] = true
+		}
+	}
+}
+
+// Start begins the tick loop on the scheduler.
+func (e *Engine) Start() {
+	if e.ticker != nil {
+		return
+	}
+	e.lastNow = e.sched.Now()
+	e.ticker = e.sched.Every(e.cfg.Tick, e.tick)
+}
+
+// Stop halts the tick loop.
+func (e *Engine) Stop() {
+	if e.ticker != nil {
+		e.ticker.Cancel()
+		e.ticker = nil
+	}
+}
+
+// buildGroups constructs task groups for the current plan, preserving
+// nothing (fresh deployment).
+func (e *Engine) buildGroups() {
+	e.groups = make(map[groupKey]*group)
+	for id, st := range e.plan.Stages {
+		for _, site := range st.DistinctSites() {
+			n := 0
+			for _, s := range st.Sites {
+				if s == site {
+					n++
+				}
+			}
+			e.addGroup(id, site, n)
+		}
+	}
+}
+
+func (e *Engine) addGroup(id plan.OpID, site topology.SiteID, tasks int) *group {
+	g := &group{op: e.plan.Graph.Operator(id), site: site, tasks: tasks}
+	if g.op.Window > 0 {
+		g.windows = make(map[vclock.Time]*winAcc)
+	}
+	e.groups[groupKey{op: id, site: site}] = g
+	return g
+}
+
+// opGroups returns the groups of one operator, ascending by site.
+func (e *Engine) opGroups(id plan.OpID) []*group {
+	var out []*group
+	for s := 0; s < e.top.N(); s++ {
+		if g, ok := e.groups[groupKey{op: id, site: topology.SiteID(s)}]; ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// tick advances the simulation by one step ending at `now`.
+func (e *Engine) tick(now vclock.Time) {
+	dt := now - e.lastNow
+	if dt <= 0 {
+		return
+	}
+	e.lastNow = now
+	dtSec := time.Duration(dt).Seconds()
+	failed := now <= e.failedUntil
+
+	// 1. Set flow demands from send queues and destination backpressure.
+	flows := e.sortedFlows()
+	for _, f := range flows {
+		if f.flow == nil {
+			continue
+		}
+		if failed || e.destThrottled(f) {
+			f.flow.SetDemand(0)
+			continue
+		}
+		f.flow.SetDemand(f.q.len() * f.eventBytes / dtSec)
+	}
+
+	// 2. Advance the network: fair-share allocation + bulk transfers.
+	e.net.Step(now, dt)
+
+	// 3. Deliver allocated flow volumes into destination input queues.
+	if !failed {
+		e.deliverFlows(flows, dtSec)
+	}
+
+	// 4. External arrivals at sources (rates evaluated at tick start).
+	e.generate(now, now-dt, dtSec)
+
+	// 5. Process groups in topological order.
+	order, err := e.plan.StageIDs()
+	if err != nil {
+		panic(fmt.Sprintf("engine: invalid plan at runtime: %v", err))
+	}
+	for _, id := range order {
+		for _, g := range e.opGroups(id) {
+			e.processGroup(g, now, dtSec, failed)
+		}
+	}
+
+	// 6. Progress pending reconfigurations and re-plans.
+	e.progressReconfigs(now)
+	e.progressReplan(now)
+
+	// 7. Refresh backpressure flags for the next tick's demands.
+	e.updateBackpressure()
+}
+
+// sortedFlows returns the engine's flows in deterministic key order, so
+// queue pushes and network allocations are replay-stable (map iteration
+// order must not leak into event order).
+func (e *Engine) sortedFlows() []*edgeFlow {
+	keys := make([]flowKey, 0, len(e.flows))
+	for k := range e.flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.fromSite != b.fromSite {
+			return a.fromSite < b.fromSite
+		}
+		return a.toSite < b.toSite
+	})
+	out := make([]*edgeFlow, len(keys))
+	for i, k := range keys {
+		out[i] = e.flows[k]
+	}
+	return out
+}
+
+// destThrottled reports whether a flow's destination refuses more input
+// (backpressure).
+func (e *Engine) destThrottled(f *edgeFlow) bool {
+	dst, ok := e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
+	if !ok {
+		return true // destination disappeared mid-reconfiguration
+	}
+	return e.queueFull(dst)
+}
+
+// queueFull applies the backpressure bound: a queue is full when it holds
+// more than BackpressureSec seconds of work at the group's capacity.
+func (e *Engine) queueFull(g *group) bool {
+	if g.op.Kind == plan.KindSink {
+		return false
+	}
+	limit := g.capacity(e.cfg.SlotRate) * e.cfg.BackpressureSec
+	return g.inQ.len() >= limit
+}
+
+// deliverFlows moves each flow's granted volume from its send queue into
+// the destination group, aging cohorts by the link latency.
+func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
+	for _, f := range flows {
+		if f.flow == nil {
+			continue
+		}
+		granted := f.flow.Allocated() * dtSec / f.eventBytes
+		if granted <= 0 {
+			continue
+		}
+		dst, ok := e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
+		if !ok {
+			continue
+		}
+		for _, c := range f.q.pop(granted) {
+			dst.inQ.push(c.born-f.latency, c.count, c.worth, c.raw)
+			dst.arrived += c.count
+			if e.frontOps[f.key.from] {
+				e.transportedSrc += c.src()
+			}
+		}
+	}
+}
+
+// generate pushes external arrivals into source groups. Generation
+// continues through failures and halts — reality does not pause — which is
+// what makes backlogs accumulate.
+func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
+	for _, id := range e.plan.Graph.OperatorIDs() {
+		st, ok := e.plan.Stages[id]
+		if !ok {
+			continue
+		}
+		op := st.Op
+		if op.Kind != plan.KindSource {
+			continue
+		}
+		factor := e.workloadFactor.At(start)
+		if tr, ok := e.sourceFactors[id]; ok {
+			factor *= tr.At(start)
+		}
+		count := op.SourceRate * factor * dtSec
+		if count <= 0 {
+			continue
+		}
+		for _, g := range e.opGroups(id) {
+			g.inQ.push(now, count, 1, true)
+			g.generated += count
+			e.totalGenerated += count
+			break // sources are pinned: single group
+		}
+	}
+}
+
+// processGroup runs one task group for one tick.
+func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed bool) {
+	if g.op.Kind == plan.KindSink {
+		// Sinks consume instantly; record delivery delay. Deliveries are
+		// weighted by source-equivalents so that delay statistics weight
+		// every source event fairly, regardless of how much aggregation
+		// compressed its branch.
+		for _, c := range g.inQ.popAll() {
+			delay := now - c.born
+			e.sinkArrived += c.count
+			e.sinkDelaySum += delay.Seconds() * c.count
+			e.totalDelivered += c.count
+			g.processed += c.count
+			e.deliveries = append(e.deliveries, SinkDelivery{At: now, Delay: delay, Count: c.src()})
+		}
+		return
+	}
+	if failed || g.halted {
+		return
+	}
+
+	budget := g.capacity(e.cfg.SlotRate) * e.stragglerFactor(g) * dtSec
+	if budget <= 0 {
+		return
+	}
+	// Degrade policy: shed events older than the SLO before spending
+	// budget on them.
+	if e.cfg.DropLate {
+		for {
+			born, ok := g.inQ.oldestBorn()
+			if !ok || now-born <= e.failSafeSLO() {
+				break
+			}
+			if !g.inQ.items[g.inQ.head].raw {
+				break // never shed partial aggregation results
+			}
+			c, ok := g.inQ.popHead()
+			if !ok {
+				break
+			}
+			g.dropped += c.count
+			e.totalDropped += c.count
+			e.droppedSrcEquiv += c.src()
+			if !e.frontOps[g.op.ID] {
+				e.droppedBeyondSrc += c.src()
+			}
+		}
+	}
+
+	sigma := g.op.Selectivity
+	if g.op.Kind == plan.KindSource {
+		sigma = 1
+	}
+
+	// Downstream fan-out is blocked while any send queue is full: the
+	// group stops processing (backpressure propagates upstream).
+	if e.sendBlocked(g) {
+		g.backpressured = true
+		return
+	}
+
+	for _, c := range g.inQ.pop(budget) {
+		g.processed += c.count
+		if c.born > g.maxProcessedBorn {
+			g.maxProcessedBorn = c.born
+		}
+		out := c.count * sigma
+		if out <= 0 {
+			continue
+		}
+		outWorth := c.worth / sigma
+		outRaw := c.raw
+		if g.windows != nil {
+			start := windowStart(c.born, g.op.Window)
+			w := g.windows[start]
+			if w == nil {
+				w = &winAcc{}
+				g.windows[start] = w
+			}
+			w.count += out
+			w.srcTotal += out * outWorth
+			if c.born > w.maxBorn {
+				w.maxBorn = c.born
+			}
+			continue
+		}
+		g.emitted += out
+		e.fanOut(g, c.born, out, outWorth, outRaw)
+	}
+
+	// Fire completed windows.
+	if g.windows != nil {
+		e.fireWindows(g, now)
+	}
+}
+
+// failSafeSLO returns the Degrade SLO.
+func (e *Engine) failSafeSLO() vclock.Time { return vclock.Time(e.cfg.SLO) }
+
+// fireWindows emits every buffered window whose end has passed on the
+// virtual clock. Tumbling windows are aligned across the distributed
+// partial-aggregation tree, so every level fires at the boundary rather
+// than waiting a further window for downstream watermarks; events that
+// arrive for an already-fired window (late, e.g. during backlog) re-open
+// it and fire on the next tick, which conserves counts and attributes the
+// lateness to the emitted cohort (its born time stays the window's max
+// event time, the paper's §8.3 convention).
+func (e *Engine) fireWindows(g *group, now vclock.Time) {
+	var due []vclock.Time
+	for start := range g.windows {
+		if start+vclock.Time(g.op.Window) <= now {
+			due = append(due, start)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		w := g.windows[start]
+		g.emitted += w.count
+		e.fanOut(g, w.maxBorn, w.count, w.srcTotal/w.count, false)
+		delete(g.windows, start)
+	}
+}
+
+// windowStart mirrors stream.windowStart for the fluid model.
+func windowStart(t vclock.Time, size time.Duration) vclock.Time {
+	if size <= 0 {
+		return t
+	}
+	return (t / vclock.Time(size)) * vclock.Time(size)
+}
+
+// fanOut distributes `count` output events born at `born`, each worth
+// `worth` source equivalents (raw or partial-result), to every downstream
+// operator, splitting across its sites by task share.
+func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bool) {
+	for _, downID := range e.plan.Graph.Downstream(g.op.ID) {
+		downStage := e.plan.Stages[downID]
+		total := float64(downStage.Parallelism())
+		if total == 0 {
+			continue
+		}
+		for _, site := range downStage.DistinctSites() {
+			share := float64(countSites(downStage.Sites, site)) / total
+			n := count * share
+			if n <= 0 {
+				continue
+			}
+			if site == g.site {
+				dst := e.groups[groupKey{op: downID, site: site}]
+				dst.inQ.push(born, n, worth, raw)
+				dst.arrived += n
+				if e.frontOps[g.op.ID] {
+					e.transportedSrc += n * worth
+				}
+				continue
+			}
+			f := e.flows[flowKey{from: g.op.ID, to: downID, fromSite: g.site, toSite: site}]
+			if f == nil {
+				f = e.addFlow(g.op.ID, downID, g.site, site)
+			}
+			f.q.push(born, n, worth, raw)
+		}
+	}
+}
+
+// sendBlocked reports whether any of the group's send queues is over the
+// backpressure bound (measured in seconds of transmission at current link
+// capacity).
+func (e *Engine) sendBlocked(g *group) bool {
+	for key, f := range e.flows {
+		if key.from != g.op.ID || key.fromSite != g.site {
+			continue
+		}
+		linkCap := e.net.Capacity(key.fromSite, key.toSite, e.lastNow)
+		if linkCap <= 0 {
+			if !f.q.empty() {
+				return true
+			}
+			continue
+		}
+		secondsQueued := f.q.len() * f.eventBytes / linkCap
+		if secondsQueued >= e.cfg.BackpressureSec {
+			return true
+		}
+	}
+	return false
+}
+
+// updateBackpressure refreshes each group's backpressure flag: a group is
+// backpressured when its input queue or any of its send queues is at the
+// bound, so next tick's flow demands and processing observe it.
+func (e *Engine) updateBackpressure() {
+	for _, g := range e.groups {
+		if e.queueFull(g) || e.sendBlocked(g) {
+			g.backpressured = true
+		}
+	}
+}
+
+func countSites(sites []topology.SiteID, s topology.SiteID) int {
+	n := 0
+	for _, x := range sites {
+		if x == s {
+			n++
+		}
+	}
+	return n
+}

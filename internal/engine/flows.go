@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"sort"
+
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// addFlow registers the inter-site flow for one (edge, site-pair),
+// creating its netsim flow when the pair crosses sites.
+func (e *Engine) addFlow(from, to plan.OpID, fromSite, toSite topology.SiteID) *edgeFlow {
+	key := flowKey{from: from, to: to, fromSite: fromSite, toSite: toSite}
+	if f, ok := e.flows[key]; ok {
+		return f
+	}
+	fromOp := e.plan.Graph.Operator(from)
+	eventBytes := fromOp.OutEventBytes
+	if eventBytes <= 0 {
+		eventBytes = 1
+	}
+	f := &edgeFlow{
+		key:        key,
+		eventBytes: eventBytes,
+		latency:    vclock.Time(e.net.Latency(fromSite, toSite)),
+	}
+	if fromSite != toSite {
+		f.flow = e.net.AddFlow(fromSite, toSite)
+	}
+	e.flows[key] = f
+	return f
+}
+
+// rebuildFlows reconstructs the flow set for the current plan and group
+// placement, preserving queued cohorts: cohorts whose (edge, site-pair)
+// still exists stay in place; cohorts on vanished pairs are re-spread
+// across the edge's surviving destination sites (the relayed-events case
+// the α bandwidth headroom provisions for, §4.1).
+func (e *Engine) rebuildFlows() {
+	old := e.flows
+	e.flows = make(map[flowKey]*edgeFlow, len(old))
+
+	// Create the flow lattice for the current placement.
+	for _, from := range e.plan.Graph.OperatorIDs() {
+		fromStage := e.plan.Stages[from]
+		for _, to := range e.plan.Graph.Downstream(from) {
+			toStage := e.plan.Stages[to]
+			for _, fs := range fromStage.DistinctSites() {
+				for _, ts := range toStage.DistinctSites() {
+					if fs == ts {
+						continue
+					}
+					e.addFlow(from, to, fs, ts)
+				}
+			}
+		}
+	}
+
+	// Carry over or re-home queued cohorts (in deterministic key order),
+	// then release old netsim flows.
+	keys := make([]flowKey, 0, len(old))
+	for k := range old {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		if a.fromSite != b.fromSite {
+			return a.fromSite < b.fromSite
+		}
+		return a.toSite < b.toSite
+	})
+	for _, key := range keys {
+		of := old[key]
+		if nf, ok := e.flows[key]; ok {
+			nf.q = of.q
+		} else if !of.q.empty() {
+			e.rehomeCohorts(key, &of.q)
+		}
+		if of.flow != nil {
+			e.net.RemoveFlow(of.flow)
+		}
+	}
+}
+
+// rehomeCohorts redistributes a dead flow's queue. Preference order:
+// surviving flows of the same edge from the same site; then the
+// destination operator's input queues (split by task share); finally the
+// sending group's input for reprocessing.
+func (e *Engine) rehomeCohorts(key flowKey, q *cohortQueue) {
+	cohorts := q.popAll()
+
+	// Same edge, same sender site, any surviving destination (sorted by
+	// destination for determinism).
+	var sameSender []*edgeFlow
+	for k, f := range e.flows {
+		if k.from == key.from && k.to == key.to && k.fromSite == key.fromSite {
+			sameSender = append(sameSender, f)
+		}
+	}
+	sort.Slice(sameSender, func(i, j int) bool { return sameSender[i].key.toSite < sameSender[j].key.toSite })
+	if len(sameSender) > 0 {
+		for _, c := range cohorts {
+			per := c.count / float64(len(sameSender))
+			for _, f := range sameSender {
+				f.q.push(c.born, per, c.worth, c.raw)
+			}
+		}
+		return
+	}
+
+	// Destination operator still exists somewhere: hand the cohorts to
+	// its groups directly (instant handover; the dominant reconfiguration
+	// cost — state migration — is modelled separately).
+	if toStage, ok := e.plan.Stages[key.to]; ok && len(toStage.Sites) > 0 {
+		groups := e.opGroups(key.to)
+		if len(groups) > 0 {
+			total := 0
+			for _, g := range groups {
+				total += g.tasks
+			}
+			for _, c := range cohorts {
+				for _, g := range groups {
+					share := c.count * float64(g.tasks) / float64(total)
+					g.inQ.push(c.born, share, c.worth, c.raw)
+					g.arrived += share
+				}
+			}
+			return
+		}
+	}
+
+	// Fall back: requeue at any group of the sending operator.
+	if groups := e.opGroups(key.from); len(groups) > 0 {
+		for _, c := range cohorts {
+			groups[0].inQ.push(c.born, c.count, c.worth, c.raw)
+		}
+	}
+	// Otherwise the edge vanished entirely (plan switch removed both
+	// ends); cohorts were drained before the switch, so this is
+	// unreachable in practice.
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// cohort is a fluid bundle of events sharing a generation time. The flow-
+// mode engine moves cohorts (not individual records) through queues and
+// links, preserving `born` so end-to-end delay is measurable at the sinks.
+// Link propagation latency is accounted by aging `born` backwards at each
+// WAN hop, so delay = now − born at any point.
+//
+// worth is the source-equivalent value of one event in the cohort: source
+// events start at worth 1, and an operator with selectivity σ emits events
+// of worth w/σ, so count×worth — the source events represented — is
+// conserved through the pipeline. Drops and goodput are accounted exactly
+// with it.
+type cohort struct {
+	born  vclock.Time
+	count float64
+	worth float64
+	// raw marks cohorts of unaggregated events. Windowed/aggregating
+	// operators emit raw=false "partial result" cohorts; the Degrade
+	// policy sheds only raw cohorts (dropping a partial result would
+	// silently discard the many source events it represents).
+	raw bool
+}
+
+// src returns the cohort's source-equivalent total.
+func (c cohort) src() float64 { return c.count * c.worth }
+
+// cohortQueue is a FIFO of cohorts with O(1) amortized push/pop.
+type cohortQueue struct {
+	items []cohort
+	head  int
+	total float64
+}
+
+// push appends count events of the given per-event worth, merging with
+// the tail cohort when the born time and rawness match (worth becomes the
+// count-weighted average, preserving source-equivalent totals).
+func (q *cohortQueue) push(born vclock.Time, count, worth float64, raw bool) {
+	if count <= 0 {
+		return
+	}
+	q.total += count
+	if n := len(q.items); n > q.head && q.items[n-1].born == born && q.items[n-1].raw == raw {
+		tail := &q.items[n-1]
+		tail.worth = (tail.count*tail.worth + count*worth) / (tail.count + count)
+		tail.count += count
+		return
+	}
+	q.items = append(q.items, cohort{born: born, count: count, worth: worth, raw: raw})
+}
+
+// len returns the number of queued events.
+func (q *cohortQueue) len() float64 { return q.total }
+
+// empty reports whether the queue holds no events.
+func (q *cohortQueue) empty() bool { return q.total <= 1e-9 }
+
+// oldestBorn returns the generation time of the head cohort, or ok=false
+// when empty.
+func (q *cohortQueue) oldestBorn() (vclock.Time, bool) {
+	if q.empty() {
+		return 0, false
+	}
+	return q.items[q.head].born, true
+}
+
+// pop removes up to n events from the head, returning the removed cohorts
+// in FIFO order.
+func (q *cohortQueue) pop(n float64) []cohort {
+	var out []cohort
+	for n > 1e-9 && q.head < len(q.items) {
+		c := &q.items[q.head]
+		if c.count <= n+1e-9 {
+			out = append(out, *c)
+			n -= c.count
+			q.total -= c.count
+			q.head++
+			continue
+		}
+		out = append(out, cohort{born: c.born, count: n, worth: c.worth, raw: c.raw})
+		c.count -= n
+		q.total -= n
+		n = 0
+	}
+	q.compact()
+	if q.total < 1e-9 {
+		q.total = 0
+	}
+	return out
+}
+
+// popHead removes and returns the head cohort regardless of its size
+// (ok=false when empty). Used by shedding paths, where pop's fractional
+// epsilon handling could otherwise spin on sub-epsilon head cohorts.
+func (q *cohortQueue) popHead() (cohort, bool) {
+	if q.head >= len(q.items) {
+		return cohort{}, false
+	}
+	c := q.items[q.head]
+	q.head++
+	q.total -= c.count
+	if q.total < 1e-9 {
+		q.total = 0
+	}
+	q.compact()
+	return c, true
+}
+
+// popAll drains the queue.
+func (q *cohortQueue) popAll() []cohort {
+	return q.pop(q.total + 1)
+}
+
+// compact reclaims consumed head space once it dominates the backing
+// array.
+func (q *cohortQueue) compact() {
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+}

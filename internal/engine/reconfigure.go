@@ -1,0 +1,405 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/physical"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Migration is one task state transfer between sites, part of a
+// reconfiguration.
+type Migration struct {
+	FromSite topology.SiteID
+	ToSite   topology.SiteID
+	Bytes    float64
+}
+
+// reconfiguration is an in-flight re-assignment or rescale of one stage:
+// the stage is suspended until every state transfer completes (§4.1: halt,
+// instantiate new tasks, resume).
+type reconfiguration struct {
+	op        plan.OpID
+	newSites  []topology.SiteID
+	transfers []*netsim.Transfer
+	startedAt vclock.Time
+	finished  func(now vclock.Time)
+}
+
+// Reconfigure suspends the stage running `op`, migrates state per
+// `migrations` over the WAN, and when the slowest transfer completes,
+// reinstates the stage with the new placement (covering task
+// re-assignment, scale-out/up, and scale-down). Queued cohorts and window
+// state carry over to the new groups; events arriving during the
+// transition queue up and are drained afterwards. onDone, if non-nil, is
+// called at completion time.
+func (e *Engine) Reconfigure(op plan.OpID, newSites []topology.SiteID, migrations []Migration, onDone func(now vclock.Time)) error {
+	if e.plan == nil {
+		return errors.New("engine: not deployed")
+	}
+	st, ok := e.plan.Stages[op]
+	if !ok {
+		return fmt.Errorf("engine: unknown operator %d", op)
+	}
+	if len(newSites) == 0 {
+		return errors.New("engine: empty placement")
+	}
+	for _, r := range e.reconfigs {
+		if r.op == op {
+			return fmt.Errorf("engine: operator %d already reconfiguring", op)
+		}
+	}
+
+	// Suspend only the groups at sites losing tasks: pure scale-outs keep
+	// the existing tasks processing while new tasks receive their state
+	// partitions; full moves suspend everything (§4.1).
+	newCount := make(map[topology.SiteID]int)
+	for _, s := range newSites {
+		newCount[s]++
+	}
+	oldCount := make(map[topology.SiteID]int)
+	for _, s := range st.Sites {
+		oldCount[s]++
+	}
+	for _, g := range e.opGroups(op) {
+		if oldCount[g.site] > newCount[g.site] {
+			g.halted = true
+		}
+	}
+	rc := &reconfiguration{
+		op:        op,
+		newSites:  append([]topology.SiteID(nil), newSites...),
+		startedAt: e.sched.Now(),
+		finished:  onDone,
+	}
+	for _, m := range migrations {
+		if m.Bytes <= 0 || m.FromSite == m.ToSite {
+			continue
+		}
+		rc.transfers = append(rc.transfers, e.net.StartTransfer(m.FromSite, m.ToSite, m.Bytes))
+	}
+	e.reconfigs = append(e.reconfigs, rc)
+	return nil
+}
+
+// Reconfiguring reports whether the given stage has a pending
+// reconfiguration.
+func (e *Engine) Reconfiguring(op plan.OpID) bool {
+	for _, r := range e.reconfigs {
+		if r.op == op {
+			return true
+		}
+	}
+	return false
+}
+
+// progressReconfigs finalizes reconfigurations whose transfers completed.
+func (e *Engine) progressReconfigs(now vclock.Time) {
+	remaining := e.reconfigs[:0]
+	for _, rc := range e.reconfigs {
+		done := true
+		for _, tr := range rc.transfers {
+			if !tr.Done() {
+				done = false
+				break
+			}
+		}
+		if !done {
+			remaining = append(remaining, rc)
+			continue
+		}
+		e.finalizeReconfig(rc, now)
+	}
+	e.reconfigs = remaining
+}
+
+func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
+	old := e.opGroups(rc.op)
+
+	// Gather carried state: queued cohorts, window buffers, frontier.
+	var carriedQ []cohort
+	carriedWins := make(map[vclock.Time]*winAcc)
+	var frontier vclock.Time
+	for _, g := range old {
+		carriedQ = append(carriedQ, g.inQ.popAll()...)
+		for start, w := range g.windows {
+			dst := carriedWins[start]
+			if dst == nil {
+				dst = &winAcc{}
+				carriedWins[start] = dst
+			}
+			dst.count += w.count
+			dst.srcTotal += w.srcTotal
+			if w.maxBorn > dst.maxBorn {
+				dst.maxBorn = w.maxBorn
+			}
+		}
+		if g.maxProcessedBorn > frontier {
+			frontier = g.maxProcessedBorn
+		}
+		delete(e.groups, groupKey{op: rc.op, site: g.site})
+	}
+
+	// Install the new placement on the plan.
+	e.plan.Stages[rc.op].Sites = append([]topology.SiteID(nil), rc.newSites...)
+
+	// Build the new groups and spread the carried state by task share.
+	perSite := make(map[topology.SiteID]int)
+	for _, s := range rc.newSites {
+		perSite[s]++
+	}
+	total := float64(len(rc.newSites))
+	var newGroups []*group
+	for s := 0; s < e.top.N(); s++ {
+		site := topology.SiteID(s)
+		n, ok := perSite[site]
+		if !ok {
+			continue
+		}
+		g := e.addGroup(rc.op, site, n)
+		g.maxProcessedBorn = frontier
+		newGroups = append(newGroups, g)
+	}
+	for _, g := range newGroups {
+		share := float64(g.tasks) / total
+		for _, c := range carriedQ {
+			g.inQ.push(c.born, c.count*share, c.worth, c.raw)
+		}
+		if g.windows != nil {
+			for start, w := range carriedWins {
+				g.windows[start] = &winAcc{count: w.count * share, srcTotal: w.srcTotal * share, maxBorn: w.maxBorn}
+			}
+		}
+	}
+
+	e.rebuildFlows()
+	e.refreshGoodputModel()
+	if rc.finished != nil {
+		rc.finished(now)
+	}
+}
+
+// Fail revokes all computational resources for the given duration (§8.6):
+// processing and data movement stop; external arrivals keep accumulating.
+// State survives (localized checkpoints restore it on recovery).
+func (e *Engine) Fail(outage vclock.Time) {
+	until := e.sched.Now() + outage
+	if until > e.failedUntil {
+		e.failedUntil = until
+	}
+}
+
+// Failed reports whether the engine is currently in a failure outage.
+func (e *Engine) Failed() bool { return e.sched.Now() <= e.failedUntil }
+
+// pendingReplan tracks an in-flight plan switch: sources are suspended,
+// the old pipeline drains, then the new plan takes over with carried
+// state.
+type pendingReplan struct {
+	newPlan  *physical.Plan
+	carry    map[plan.OpID]plan.OpID // old op → new op for state carryover
+	started  vclock.Time
+	finished func(now vclock.Time)
+}
+
+// BeginReplan initiates a query re-plan (§4.3): source emission is
+// suspended (external events keep queueing), the in-flight events drain
+// through the old plan, and once empty the new physical plan takes over.
+// carry maps old operator IDs to new ones for every operator whose state
+// and backlog must survive (sources, sinks, and common stateful
+// sub-plans). The drain-then-switch models the paper's window-boundary
+// reconfiguration and is what makes re-planning the highest-overhead
+// technique (Table 2).
+func (e *Engine) BeginReplan(newPlan *physical.Plan, carry map[plan.OpID]plan.OpID, onDone func(now vclock.Time)) error {
+	if e.plan == nil {
+		return errors.New("engine: not deployed")
+	}
+	if e.replan != nil {
+		return errors.New("engine: re-plan already in progress")
+	}
+	if err := newPlan.Validate(e.top); err != nil {
+		return fmt.Errorf("engine: new plan invalid: %w", err)
+	}
+	for oldID, newID := range carry {
+		if _, ok := e.plan.Stages[oldID]; !ok {
+			return fmt.Errorf("engine: carry source op %d not in current plan", oldID)
+		}
+		if _, ok := newPlan.Stages[newID]; !ok {
+			return fmt.Errorf("engine: carry target op %d not in new plan", newID)
+		}
+	}
+	// Suspend sources: backlog accumulates externally.
+	for _, id := range e.plan.Graph.Sources() {
+		for _, g := range e.opGroups(id) {
+			g.halted = true
+		}
+	}
+	e.replan = &pendingReplan{
+		newPlan:  newPlan,
+		carry:    carry,
+		started:  e.sched.Now(),
+		finished: onDone,
+	}
+	return nil
+}
+
+// Replanning reports whether a plan switch is in progress.
+func (e *Engine) Replanning() bool { return e.replan != nil }
+
+// progressReplan completes the plan switch once the old pipeline drained.
+func (e *Engine) progressReplan(now vclock.Time) {
+	rp := e.replan
+	if rp == nil {
+		return
+	}
+	if !e.drained(rp.carry) {
+		return
+	}
+
+	// Collect carried state keyed by the NEW operator IDs.
+	type carried struct {
+		q        []cohort
+		wins     map[vclock.Time]*winAcc
+		frontier vclock.Time
+	}
+	carry := make(map[plan.OpID]*carried)
+	for oldID, newID := range rp.carry {
+		c := &carried{wins: make(map[vclock.Time]*winAcc)}
+		for _, g := range e.opGroups(oldID) {
+			c.q = append(c.q, g.inQ.popAll()...)
+			for start, w := range g.windows {
+				dst := c.wins[start]
+				if dst == nil {
+					dst = &winAcc{}
+					c.wins[start] = dst
+				}
+				dst.count += w.count
+				dst.srcTotal += w.srcTotal
+				if w.maxBorn > dst.maxBorn {
+					dst.maxBorn = w.maxBorn
+				}
+			}
+			if g.maxProcessedBorn > c.frontier {
+				c.frontier = g.maxProcessedBorn
+			}
+		}
+		carry[newID] = c
+	}
+
+	// Tear down old flows.
+	for _, f := range e.flows {
+		if f.flow != nil {
+			e.net.RemoveFlow(f.flow)
+		}
+	}
+	e.flows = make(map[flowKey]*edgeFlow)
+
+	// Install the new plan and groups.
+	e.plan = rp.newPlan
+	e.buildGroups()
+	for newID, c := range carry {
+		groups := e.opGroups(newID)
+		if len(groups) == 0 {
+			continue
+		}
+		total := 0
+		for _, g := range groups {
+			total += g.tasks
+		}
+		for _, g := range groups {
+			share := float64(g.tasks) / float64(total)
+			for _, co := range c.q {
+				g.inQ.push(co.born, co.count*share, co.worth, co.raw)
+			}
+			if g.windows != nil {
+				for start, w := range c.wins {
+					g.windows[start] = &winAcc{count: w.count * share, srcTotal: w.srcTotal * share, maxBorn: w.maxBorn}
+				}
+			}
+			if c.frontier > g.maxProcessedBorn {
+				g.maxProcessedBorn = c.frontier
+			}
+		}
+	}
+	e.rebuildFlows()
+	e.refreshGoodputModel()
+	e.replan = nil
+	if rp.finished != nil {
+		rp.finished(now)
+	}
+}
+
+// drained reports whether every in-flight cohort outside the carried
+// operators' custody has flowed out of the old pipeline: all
+
+// non-source input queues and all send queues are empty, and every
+// non-carried operator's window buffers have flushed. Window buffers of
+// non-carried windowed operators are force-fired once the queues empty —
+// the fluid-model equivalent of the paper's reconfiguration at the end of
+// the window interval.
+func (e *Engine) drained(carry map[plan.OpID]plan.OpID) bool {
+	for _, f := range e.flows {
+		if !f.q.empty() {
+			return false
+		}
+	}
+	carriedOld := make(map[plan.OpID]bool, len(carry))
+	for oldID := range carry {
+		carriedOld[oldID] = true
+	}
+	for key, g := range e.groups {
+		if g.op.Kind == plan.KindSource || g.op.Kind == plan.KindSink || carriedOld[key.op] {
+			continue
+		}
+		if !g.inQ.empty() {
+			return false
+		}
+	}
+	// Queues are empty: force-fire remaining windows of non-carried
+	// operators (window boundary reached). If anything fired, drain
+	// continues next tick.
+	fired := false
+	for _, id := range e.plan.Graph.OperatorIDs() {
+		if carriedOld[id] {
+			continue
+		}
+		for _, g := range e.opGroups(id) {
+			if len(g.windows) == 0 {
+				continue
+			}
+			starts := make([]vclock.Time, 0, len(g.windows))
+			for start := range g.windows {
+				starts = append(starts, start)
+			}
+			sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+			for _, start := range starts {
+				w := g.windows[start]
+				g.emitted += w.count
+				e.fanOut(g, w.maxBorn, w.count, w.srcTotal/w.count, false)
+				delete(g.windows, start)
+				fired = true
+			}
+		}
+	}
+	return !fired
+}
+
+// Halt suspends processing for one operator's groups (used by tests and
+// by the adaptation layer for manual control).
+func (e *Engine) Halt(op plan.OpID) {
+	for _, g := range e.opGroups(op) {
+		g.halted = true
+	}
+}
+
+// Resume releases a Halt.
+func (e *Engine) Resume(op plan.OpID) {
+	for _, g := range e.opGroups(op) {
+		g.halted = false
+	}
+}

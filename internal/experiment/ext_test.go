@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+)
+
+func TestStragglerExtension(t *testing.T) {
+	runs, err := RunStraggler(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := make(map[adapt.Policy]StragglerRun)
+	for _, r := range runs {
+		byPolicy[r.Policy] = r
+	}
+	noAdapt := byPolicy[adapt.PolicyNone]
+	wasp := byPolicy[adapt.PolicyWASP]
+	if len(wasp.Result.Actions) == 0 {
+		t.Fatal("WASP took no action against the straggler")
+	}
+	if !(wasp.During < noAdapt.During) {
+		t.Fatalf("WASP delay during straggle %.1f not below no-adapt %.1f", wasp.During, noAdapt.During)
+	}
+	out := FormatStraggler(runs)
+	if !strings.Contains(out, "straggler") {
+		t.Fatal("format malformed")
+	}
+}
+
+func TestAlphaAblation(t *testing.T) {
+	rows, err := RunAlphaAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := FormatAblation("alpha sweep", rows)
+	if !strings.Contains(out, "α=0.80") {
+		t.Fatalf("format malformed:\n%s", out)
+	}
+}
+
+func TestMonitorIntervalAblation(t *testing.T) {
+	rows, err := RunMonitorIntervalAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestConstraintAblation(t *testing.T) {
+	rows, err := RunConstraintAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The conservative (literal) constraints admit at most as many
+	// schedulable variants as the weighted reading.
+	if rows[1].Actions > rows[0].Actions {
+		t.Fatalf("conservative admitted %d > weighted %d variants", rows[1].Actions, rows[0].Actions)
+	}
+}

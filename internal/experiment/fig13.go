@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Fig13Run is one migration-strategy arm of §8.7.1.
+type Fig13Run struct {
+	Strategy adapt.MigrationStrategy
+	Overhead Overhead
+	// Peak95 is the 95th-percentile delay during the adaptation window.
+	Peak95 float64
+	// Samples for the delay-over-time panel.
+	Samples []WeightedDelay
+}
+
+// strategyName names a migration strategy for reports.
+func strategyName(s adapt.MigrationStrategy) string {
+	switch s {
+	case adapt.MigrateNone:
+		return "No Migrate"
+	case adapt.MigrateNetworkAware:
+		return "WASP"
+	case adapt.MigrateRandom:
+		return "Random"
+	case adapt.MigrateDistant:
+		return "Distant"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// RunFig13 executes the §8.7.1 network-aware state-migration experiment:
+// a stateful stage with 60 MB of state is migrated off its site at
+// t=180 s; the destination is chosen by each strategy (No Migrate skips
+// the transfer — losing state accuracy; WASP picks the highest-bandwidth
+// feasible destination; Random ignores bandwidth; Distant picks the
+// slowest feasible link). Every destination can sustain the stream, so
+// all arms eventually stabilize.
+func RunFig13(seed int64) ([]Fig13Run, error) {
+	const (
+		stateBytes = 60e6
+		adaptAt    = 180 * time.Second
+		runFor     = 500 * time.Second
+		threshold  = 3.0 // seconds: stabilization delay bound
+	)
+	strategies := []adapt.MigrationStrategy{
+		adapt.MigrateNone, adapt.MigrateNetworkAware, adapt.MigrateRandom, adapt.MigrateDistant,
+	}
+	var runs []Fig13Run
+	for _, strat := range strategies {
+		b, err := newMigBench(seed, stateBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.runUntil(adaptAt); err != nil {
+			return nil, err
+		}
+		dests := b.candidateDests(b.sched.Now())
+		if len(dests) == 0 {
+			return nil, fmt.Errorf("fig13: no feasible destination")
+		}
+		dest := pickDest(dests, strat)
+		bytes := stateBytes
+		if strat == adapt.MigrateNone {
+			bytes = 0
+		}
+		doneAt, err := b.moveStage([]topology.SiteID{dest}, bytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.runUntil(runFor); err != nil {
+			return nil, err
+		}
+		overhead := measureOverhead(b.samples, vclock.Time(adaptAt), *doneAt, threshold)
+		window := Window(b.samples, vclock.Time(adaptAt), vclock.Time(runFor))
+		runs = append(runs, Fig13Run{
+			Strategy: strat,
+			Overhead: overhead,
+			Peak95:   Percentile(window, 0.95),
+			Samples:  b.samples,
+		})
+	}
+	return runs, nil
+}
+
+// pickDest selects the destination per strategy from candidates sorted by
+// descending migration bandwidth.
+func pickDest(dests []topology.SiteID, strat adapt.MigrationStrategy) topology.SiteID {
+	switch strat {
+	case adapt.MigrateDistant:
+		return dests[len(dests)-1]
+	case adapt.MigrateRandom:
+		return dests[len(dests)/2] // bandwidth-agnostic deterministic pick
+	default: // WASP network-aware and No Migrate (destination then moot)
+		return dests[0]
+	}
+}
+
+// FormatFig13 renders the delay-over-time and overhead-breakdown panels.
+func FormatFig13(runs []Fig13Run) string {
+	out := "Figure 13: network-aware state migration (60 MB state, adaptation at t=180 s)\n"
+	out += "\nFigure 13(a): delay over time (s)\n"
+	buckets := []time.Duration{120 * time.Second, 180 * time.Second, 240 * time.Second, 300 * time.Second, 360 * time.Second, 420 * time.Second, 480 * time.Second}
+	header := []string{"strategy"}
+	for i := 0; i+1 < len(buckets); i++ {
+		header = append(header, fmt.Sprintf("[%d,%d)", int(buckets[i].Seconds()), int(buckets[i+1].Seconds())))
+	}
+	var rows [][]string
+	for _, run := range runs {
+		row := []string{strategyName(run.Strategy)}
+		for i := 0; i+1 < len(buckets); i++ {
+			row = append(row, Fmt(Mean(Window(run.Samples, vclock.Time(buckets[i]), vclock.Time(buckets[i+1])))))
+		}
+		rows = append(rows, row)
+	}
+	out += Table(header, rows)
+
+	out += "\nFigure 13(b): adaptation overhead breakdown (s)\n"
+	rows = nil
+	for _, run := range runs {
+		rows = append(rows, []string{
+			strategyName(run.Strategy),
+			Fmt(run.Overhead.Transition.Seconds()),
+			Fmt(run.Overhead.Stabilize.Seconds()),
+			Fmt(run.Overhead.Total().Seconds()),
+			Fmt(run.Peak95),
+		})
+	}
+	out += Table([]string{"strategy", "transition", "stabilize", "total", "p95 delay"}, rows)
+	out += "No Migrate redirects streams without moving state (accuracy loss).\n"
+	return out
+}

@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/physical"
+	"github.com/wasp-stream/wasp/internal/queries"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/trace"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// QueryBuilder constructs one of the evaluation queries.
+type QueryBuilder func(queries.Config) *queries.Query
+
+// Scenario describes one experiment run: a query on the §8.2 testbed with
+// scripted or trace-driven dynamics under one adaptation policy.
+type Scenario struct {
+	Name string
+	// Seed drives the topology sample and all stochastic traces.
+	Seed int64
+	// Duration is the virtual run length.
+	Duration time.Duration
+	// Query builds the workload (default TopKTopics, the paper's
+	// representative query).
+	Query QueryBuilder
+	// RatePerSource is the initial per-source rate (default 10000 ev/s).
+	RatePerSource float64
+
+	// Engine and Adapt configure the runtime and the controller.
+	Engine engine.Config
+	Adapt  adapt.Config
+
+	// Workload scales all source rates over time.
+	Workload *trace.Trace
+	// PerSourceWorkload, when true, additionally applies an independent
+	// live variation trace to every source (§8.6).
+	PerSourceWorkload bool
+	// Bandwidth scales all WAN links over time.
+	Bandwidth *trace.Trace
+	// PerLinkBandwidth, when true, applies an independent live variation
+	// trace to every directed link (§8.6).
+	PerLinkBandwidth bool
+
+	// FailAt/FailFor inject a full resource revocation (§8.6). Zero
+	// FailFor disables.
+	FailAt  time.Duration
+	FailFor time.Duration
+
+	// SampleEvery sets the series bucket width (default 20 s).
+	SampleEvery time.Duration
+	// MaxVariants caps the combine-order enumeration (default 40).
+	MaxVariants int
+	// StateBytes, when > 0, overrides the stateful combine template's
+	// state size (the §8.7 experiments control it directly).
+	StateBytes float64
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Query == nil {
+		s.Query = queries.TopKTopics
+	}
+	if s.RatePerSource == 0 {
+		s.RatePerSource = 10000
+	}
+	if s.SampleEvery == 0 {
+		s.SampleEvery = 20 * time.Second
+	}
+	if s.MaxVariants == 0 {
+		s.MaxVariants = 40
+	}
+	if s.Duration == 0 {
+		s.Duration = 1500 * time.Second
+	}
+	return s
+}
+
+// Result carries everything a figure needs from one run.
+type Result struct {
+	Name string
+	// Delay is the bucket-averaged sink delay over time (seconds).
+	Delay []TimePoint
+	// Ratio is the processing ratio over time (§8.3).
+	Ratio []TimePoint
+	// Parallelism is the total extra tasks over time, relative to the
+	// initial deployment.
+	Parallelism []TimePoint
+	// Samples holds every sink delivery for CDFs and percentiles.
+	Samples []WeightedDelay
+	// Cumulative event accounting.
+	Generated, Delivered, Dropped float64
+	// ProcessedPct is the percentage of generated events fully processed
+	// past ingest by the end of the run (Fig 12a).
+	ProcessedPct float64
+	// Actions is the adaptation log.
+	Actions []adapt.Action
+	// InitialTasks is the task count of the initial deployment.
+	InitialTasks int
+}
+
+// Run executes one scenario and collects its result.
+func Run(s Scenario) (*Result, error) {
+	sc := s.withDefaults()
+
+	top := topology.Generate(topology.DefaultGenConfig(sc.Seed))
+	net := netsim.New(top)
+	sched := vclock.NewScheduler(nil)
+
+	if sc.Bandwidth != nil {
+		net.SetGlobalFactor(sc.Bandwidth)
+	}
+	if sc.PerLinkBandwidth {
+		pair := int64(0)
+		for from := 0; from < top.N(); from++ {
+			for to := 0; to < top.N(); to++ {
+				if from == to {
+					continue
+				}
+				pair++
+				net.SetLinkFactor(topology.SiteID(from), topology.SiteID(to),
+					trace.LiveBandwidthFactor(sc.Seed*1000+pair, sc.Duration))
+			}
+		}
+	}
+
+	qcfg := queries.Config{
+		SourceSites:   top.SitesOfKind(topology.Edge),
+		SinkSite:      top.SitesOfKind(topology.DataCenter)[0],
+		RatePerSource: sc.RatePerSource,
+	}
+	q := sc.Query(qcfg)
+	if sc.StateBytes > 0 {
+		q.Spec.Template.StateBytes = sc.StateBytes
+	}
+
+	plannerCfg := physical.PlannerConfig{
+		ScheduleConfig: physical.ScheduleConfig{Alpha: 0.8, DefaultParallelism: 1},
+		MaxVariants:    sc.MaxVariants,
+	}
+	best, _, err := physical.PlanQuery(q.Graph, q.Spec, top, plannerCfg)
+	if err != nil {
+		return nil, fmt.Errorf("plan %s: %w", q.Name, err)
+	}
+
+	eng := engine.New(sc.Engine, top, net, sched)
+	if err := eng.Deploy(best.Plan); err != nil {
+		return nil, fmt.Errorf("deploy %s: %w", q.Name, err)
+	}
+
+	if sc.Workload != nil {
+		eng.SetWorkloadFactor(sc.Workload)
+	}
+	if sc.PerSourceWorkload {
+		for i, op := range q.SourceOps {
+			eng.SetSourceFactor(op, trace.LiveWorkloadFactor(sc.Seed*100+int64(i), sc.Duration))
+		}
+	}
+
+	ctl := adapt.NewController(sc.Adapt, eng, top, net, sched,
+		&adapt.ReplanSpec{Base: q.Graph, Spec: q.Spec, Current: best.Variant})
+
+	if sc.FailFor > 0 {
+		sched.At(vclock.Time(sc.FailAt), func(vclock.Time) {
+			eng.Fail(vclock.Time(sc.FailFor))
+		})
+	}
+
+	res := &Result{Name: sc.Name, InitialTasks: best.Plan.TotalTasks()}
+	var lastGen, lastProcessed float64
+
+	collect := func(now vclock.Time) {
+		for _, d := range eng.TakeDeliveries() {
+			res.Samples = append(res.Samples, WeightedDelay{
+				At: d.At, Delay: d.Delay.Seconds(), Weight: d.Count,
+			})
+		}
+		gen, processed, _ := eng.Goodput()
+		dg, dp := gen-lastGen, processed-lastProcessed
+		lastGen, lastProcessed = gen, processed
+		ratio := 1.0
+		if dg > 0 {
+			ratio = dp / dg
+		}
+		res.Ratio = append(res.Ratio, TimePoint{T: now, V: ratio})
+		res.Parallelism = append(res.Parallelism, TimePoint{
+			T: now, V: float64(eng.Plan().TotalTasks() - res.InitialTasks),
+		})
+	}
+	sampler := sched.Every(sc.SampleEvery, collect)
+
+	eng.Start()
+	ctl.Start()
+	if err := sched.RunUntil(vclock.Time(sc.Duration)); err != nil {
+		return nil, err
+	}
+	sampler.Cancel()
+	ctl.Stop()
+	eng.Stop()
+	collect(sched.Now())
+
+	res.Delay = Bucketize(res.Samples, vclock.Time(sc.SampleEvery))
+	res.Generated, res.Delivered, res.Dropped = eng.Totals()
+	_, processed, _ := eng.Goodput()
+	if res.Generated > 0 {
+		res.ProcessedPct = 100 * processed / res.Generated
+	} else {
+		res.ProcessedPct = 100
+	}
+	res.Actions = ctl.Actions()
+	return res, nil
+}
+
+// MeanDelayBetween averages the run's delay samples within [from, to).
+func (r *Result) MeanDelayBetween(from, to time.Duration) float64 {
+	return Mean(Window(r.Samples, vclock.Time(from), vclock.Time(to)))
+}
+
+// DelayPercentile returns the p-quantile of all delay samples.
+func (r *Result) DelayPercentile(p float64) float64 {
+	return Percentile(r.Samples, p)
+}
+
+// MeanRatioBetween averages the processing-ratio series within [from, to).
+func (r *Result) MeanRatioBetween(from, to time.Duration) float64 {
+	var sum float64
+	n := 0
+	for _, p := range r.Ratio {
+		if p.T >= vclock.Time(from) && p.T < vclock.Time(to) {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/queries"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/trace"
+)
+
+// Static artifacts: Figure 2, Figure 7, Table 2, Table 3. These do not
+// require running the engine; they regenerate the measurement-derived
+// inputs of the evaluation.
+
+// Fig2 regenerates the one-day WAN bandwidth variability measurement
+// (Oregon→Ohio, 30-minute buckets) and its summary statistics.
+func Fig2(seed int64) string {
+	tr := trace.Fig2Bandwidth(seed)
+	st := tr.Summarize()
+	var rows [][]string
+	// 30-minute buckets over 24 h, as the figure's x-axis.
+	pts := tr.Points()
+	for i := 0; i < len(pts); i += 6 { // 6 × 5-minute samples per bucket
+		var sum float64
+		n := 0
+		for j := i; j < i+6 && j < len(pts); j++ {
+			sum += pts[j].V
+			n++
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i/6),
+			Fmt(sum / float64(n)),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: WAN bandwidth variability, Oregon→Ohio (1 day, 30-min buckets)\n")
+	b.WriteString(Table([]string{"bucket", "Mbps"}, rows))
+	fmt.Fprintf(&b, "mean=%.1f Mbps  min=%.1f  max=%.1f  max deviation from mean=%.0f%% (paper: 25%%-93%%)\n",
+		st.Mean, st.Min, st.Max, st.MaxDeviation*100)
+	return b.String()
+}
+
+// Fig7 regenerates the inter-site bandwidth and latency CDFs of the
+// testbed, split into data-center pairs and edge pairs.
+func Fig7(seed int64) string {
+	top := topology.Generate(topology.DefaultGenConfig(seed))
+	var b strings.Builder
+	b.WriteString("Figure 7: inter-site network distributions (testbed)\n")
+	for _, class := range []struct {
+		name string
+		c    topology.PairClass
+	}{
+		{"data-center pairs", topology.DataCenterPair},
+		{"edge pairs", topology.EdgePair},
+	} {
+		bws, lats := top.LinkValues(class.c)
+		var rows [][]string
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0} {
+			bi := int(q*float64(len(bws))) - 1
+			if bi < 0 {
+				bi = 0
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("p%02.0f", q*100),
+				Fmt(float64(bws[bi])),
+				fmt.Sprintf("%.0f", float64(lats[bi])/float64(time.Millisecond)),
+			})
+		}
+		fmt.Fprintf(&b, "\n%s (%d links)\n", class.name, len(bws))
+		b.WriteString(Table([]string{"quantile", "bandwidth Mbps", "latency ms"}, rows))
+	}
+	return b.String()
+}
+
+// Table2 renders the qualitative adaptation-technique comparison.
+func Table2() string {
+	var rows [][]string
+	for _, r := range adapt.Table2() {
+		rows = append(rows, []string{
+			r.Technique, r.Adaptation, r.Applicability, r.Granularity, r.Overhead, r.QualityReduction,
+		})
+	}
+	return "Table 2: qualitative comparison between adaptation techniques\n" +
+		Table([]string{"Technique", "Adaptation", "Applicability", "Granularity", "Overhead*", "Quality reduction"}, rows) +
+		"*Excluding the cross-site state migration overhead.\n"
+}
+
+// Table3 renders the query details table.
+func Table3() string {
+	var rows [][]string
+	for _, r := range queries.Table3() {
+		rows = append(rows, []string{r.Application, r.State, r.Operators, r.Dataset})
+	}
+	return "Table 3: location-based query details\n" +
+		Table([]string{"Application", "State", "Operators", "Dataset"}, rows)
+}

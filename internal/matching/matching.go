@@ -1,0 +1,230 @@
+// Package matching solves the bottleneck (minmax) bipartite assignment
+// problem behind WASP's network-aware state migration (§5): map each
+// migrating task (at a site in S−S′) to a destination slot site (in S′−S)
+// so that the slowest individual state transfer — which determines the
+// whole adaptation's transition time — is minimized:
+//
+//	min max( |state_s1| / B^{s2}_{s1} )  over  s1∈S−S′, s2∈S′−S.
+package matching
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInfeasible is returned when no left-perfect matching exists.
+var ErrInfeasible = errors.New("matching: no feasible assignment")
+
+// MinMax finds an assignment of every left node i (0..n-1) to a distinct
+// right node j (0..m-1), n ≤ m, minimizing the maximum cost[i][j] over the
+// chosen pairs. Entries set to +Inf (or NaN) are forbidden edges.
+//
+// It returns assign (assign[i] = j) and the bottleneck cost. It runs a
+// binary search over the distinct finite costs, testing feasibility with
+// Kuhn's augmenting-path matching — O(log E · V·E), ample for WASP's
+// ≤16-site instances.
+func MinMax(cost [][]float64) (assign []int, bottleneck float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i := range cost {
+		if len(cost[i]) != m {
+			return nil, 0, errors.New("matching: ragged cost matrix")
+		}
+	}
+	if n > m {
+		return nil, 0, ErrInfeasible
+	}
+
+	// Collect the distinct finite costs.
+	var values []float64
+	for i := range cost {
+		for j := range cost[i] {
+			c := cost[i][j]
+			if !math.IsInf(c, 1) && !math.IsNaN(c) {
+				values = append(values, c)
+			}
+		}
+	}
+	if len(values) == 0 {
+		return nil, 0, ErrInfeasible
+	}
+	sort.Float64s(values)
+	values = dedup(values)
+
+	// Binary search the smallest threshold admitting a perfect matching.
+	lo, hi := 0, len(values)-1
+	if matchSize(cost, values[hi]) < n {
+		return nil, 0, ErrInfeasible
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if matchSize(cost, values[mid]) == n {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	bottleneck = values[lo]
+	assign = buildMatching(cost, bottleneck)
+	return assign, bottleneck, nil
+}
+
+func dedup(xs []float64) []float64 {
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// matchSize returns the maximum matching size using only edges with
+// cost ≤ threshold.
+func matchSize(cost [][]float64, threshold float64) int {
+	assign := buildMatching(cost, threshold)
+	size := 0
+	for _, j := range assign {
+		if j >= 0 {
+			size++
+		}
+	}
+	return size
+}
+
+// buildMatching computes a maximum matching (Kuhn's algorithm) over edges
+// with cost ≤ threshold, returning assign[i] = matched right node or -1.
+func buildMatching(cost [][]float64, threshold float64) []int {
+	n, m := len(cost), len(cost[0])
+	assign := make([]int, n) // left -> right
+	rmatch := make([]int, m) // right -> left
+	for i := range assign {
+		assign[i] = -1
+	}
+	for j := range rmatch {
+		rmatch[j] = -1
+	}
+	visited := make([]bool, m)
+	var try func(i int) bool
+	try = func(i int) bool {
+		for j := 0; j < m; j++ {
+			if visited[j] || !(cost[i][j] <= threshold) { // NaN-safe
+				continue
+			}
+			visited[j] = true
+			if rmatch[j] == -1 || try(rmatch[j]) {
+				rmatch[j] = i
+				assign[i] = j
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := range visited {
+			visited[j] = false
+		}
+		try(i)
+	}
+	return assign
+}
+
+// MinSum finds an assignment of every left node to a distinct right node
+// (n ≤ m) minimizing the total cost, via the Hungarian algorithm
+// (Jonker-style O(n²m) shortest augmenting paths). Forbidden edges are
+// +Inf. Used as a secondary objective/tie-breaker for placements.
+func MinSum(cost [][]float64) (assign []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	for i := range cost {
+		if len(cost[i]) != m {
+			return nil, 0, errors.New("matching: ragged cost matrix")
+		}
+	}
+	if n > m {
+		return nil, 0, ErrInfeasible
+	}
+
+	const inf = math.MaxFloat64
+	// Potentials-based shortest augmenting path (1-indexed sentinel form).
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = left node matched to right j (1-indexed)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				c := cost[i0-1][j-1]
+				if math.IsNaN(c) {
+					c = inf
+				}
+				cur := c - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 || delta == inf {
+				return nil, 0, ErrInfeasible
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := cost[i][assign[i]]
+		if math.IsInf(c, 1) || math.IsNaN(c) {
+			return nil, 0, ErrInfeasible
+		}
+		total += c
+	}
+	return assign, total, nil
+}

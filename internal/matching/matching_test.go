@@ -1,0 +1,270 @@
+package matching
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxSimple(t *testing.T) {
+	cost := [][]float64{
+		{10, 2},
+		{3, 10},
+	}
+	assign, b, err := MinMax(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 3 {
+		t.Fatalf("bottleneck = %v, want 3", b)
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign = %v, want [1 0]", assign)
+	}
+}
+
+func TestMinMaxRectangular(t *testing.T) {
+	// 2 tasks, 3 candidate destinations.
+	cost := [][]float64{
+		{9, 5, 7},
+		{6, 8, 4},
+	}
+	assign, b, err := MinMax(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 5 {
+		t.Fatalf("bottleneck = %v, want 5", b)
+	}
+	if assign[0] != 1 || assign[1] != 2 {
+		t.Fatalf("assign = %v, want [1 2]", assign)
+	}
+}
+
+func TestMinMaxForbiddenEdges(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, 4},
+		{3, inf},
+	}
+	assign, b, err := MinMax(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 4 || assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assign=%v bottleneck=%v", assign, b)
+	}
+}
+
+func TestMinMaxInfeasible(t *testing.T) {
+	inf := math.Inf(1)
+	cases := [][][]float64{
+		{{inf, inf}, {1, 2}},     // row 0 has no edges
+		{{1, 2}, {3, 4}, {5, 6}}, // n > m
+	}
+	for i, cost := range cases {
+		if _, _, err := MinMax(cost); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("case %d: err = %v, want ErrInfeasible", i, err)
+		}
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	assign, b, err := MinMax(nil)
+	if err != nil || assign != nil || b != 0 {
+		t.Fatalf("empty MinMax = (%v,%v,%v)", assign, b, err)
+	}
+}
+
+func TestMinMaxRagged(t *testing.T) {
+	if _, _, err := MinMax([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+// bruteMinMax exhaustively searches all assignments (n! · C(m,n)).
+func bruteMinMax(cost [][]float64) (float64, bool) {
+	n := len(cost)
+	m := len(cost[0])
+	best := math.Inf(1)
+	used := make([]bool, m)
+	var rec func(i int, cur float64)
+	found := false
+	rec = func(i int, cur float64) {
+		if cur >= best {
+			return
+		}
+		if i == n {
+			best = cur
+			found = true
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || math.IsInf(cost[i][j], 1) {
+				continue
+			}
+			used[j] = true
+			rec(i+1, math.Max(cur, cost[i][j]))
+			used[j] = false
+		}
+	}
+	rec(0, math.Inf(-1))
+	return best, found
+}
+
+func TestMinMaxMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				if rng.Float64() < 0.15 {
+					cost[i][j] = math.Inf(1)
+				} else {
+					cost[i][j] = float64(rng.Intn(50))
+				}
+			}
+		}
+		want, feasible := bruteMinMax(cost)
+		assign, got, err := MinMax(cost)
+		if !feasible {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: err = %v, want ErrInfeasible", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: err = %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: bottleneck = %v, want %v (cost=%v)", trial, got, want, cost)
+		}
+		// Check assignment validity and consistency with bottleneck.
+		seen := make(map[int]bool)
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] {
+				t.Fatalf("trial %d: invalid assign %v", trial, assign)
+			}
+			seen[j] = true
+			if cost[i][j] > got {
+				t.Fatalf("trial %d: pair cost %v exceeds bottleneck %v", trial, cost[i][j], got)
+			}
+		}
+	}
+}
+
+func TestMinSumSimple(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := MinSum(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total = %v, want 5 (assign %v)", total, assign)
+	}
+}
+
+func bruteMinSum(cost [][]float64) (float64, bool) {
+	n := len(cost)
+	m := len(cost[0])
+	best := math.Inf(1)
+	found := false
+	used := make([]bool, m)
+	var rec func(i int, cur float64)
+	rec = func(i int, cur float64) {
+		if cur >= best {
+			return
+		}
+		if i == n {
+			best = cur
+			found = true
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] || math.IsInf(cost[i][j], 1) {
+				continue
+			}
+			used[j] = true
+			rec(i+1, cur+cost[i][j])
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func TestMinSumMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				if rng.Float64() < 0.1 {
+					cost[i][j] = math.Inf(1)
+				} else {
+					cost[i][j] = float64(rng.Intn(40))
+				}
+			}
+		}
+		want, feasible := bruteMinSum(cost)
+		_, got, err := MinSum(cost)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: infeasible instance accepted", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: err = %v (cost=%v)", trial, err, cost)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: total = %v, want %v (cost=%v)", trial, got, want, cost)
+		}
+	}
+}
+
+// Property: MinMax bottleneck is never below the best single edge of any
+// row (each row must be matched to something at least its min).
+func TestMinMaxLowerBoundProperty(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := n + rng.Intn(2)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 100
+			}
+		}
+		_, b, err := MinMax(cost)
+		if err != nil {
+			return false
+		}
+		// The bottleneck must be >= max over rows of the row minimum.
+		lower := 0.0
+		for i := range cost {
+			rowMin := math.Inf(1)
+			for _, c := range cost[i] {
+				rowMin = math.Min(rowMin, c)
+			}
+			lower = math.Max(lower, rowMin)
+		}
+		return b >= lower-1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package netsim emulates the wide-area network connecting WASP sites.
+//
+// Each directed site pair (s1→s2) is a logical WAN link with a base
+// capacity from the topology, optionally modulated over virtual time by
+// bandwidth-variation traces (global and/or per link). Stream flows and
+// bulk state-migration transfers attached to a link share its capacity by
+// max-min fairness, recomputed every simulation step. This reproduces the
+// contention, bandwidth dynamics, and migration behaviour the paper's
+// emulated testbed exhibits (§8.2).
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/trace"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+type linkKey struct {
+	from, to topology.SiteID
+}
+
+// Flow is a persistent data stream between two sites. Its demand is set by
+// the engine each step; Allocated reports the rate granted by the link's
+// fair-share allocation at the most recent Step.
+type Flow struct {
+	id        int
+	From, To  topology.SiteID
+	demand    float64 // bytes/s requested
+	allocated float64 // bytes/s granted at last Step
+	removed   bool
+}
+
+// SetDemand sets the flow's requested rate in bytes/s. Negative demand is
+// treated as zero.
+func (f *Flow) SetDemand(bytesPerSec float64) {
+	f.demand = math.Max(bytesPerSec, 0)
+}
+
+// Demand returns the currently requested rate in bytes/s.
+func (f *Flow) Demand() float64 { return f.demand }
+
+// Allocated returns the rate in bytes/s granted at the last Step.
+func (f *Flow) Allocated() float64 { return f.allocated }
+
+// Transfer is a bulk state-migration transfer. It consumes all bandwidth
+// the fair-share allocation grants it until its payload is delivered.
+type Transfer struct {
+	id        int
+	From, To  topology.SiteID
+	total     float64 // bytes
+	remaining float64 // bytes
+	done      bool
+	doneAt    vclock.Time
+	allocated float64 // bytes/s granted at last Step
+}
+
+// Done reports whether the transfer has completed.
+func (t *Transfer) Done() bool { return t.done }
+
+// DoneAt returns the virtual time the transfer completed (zero if not yet).
+func (t *Transfer) DoneAt() vclock.Time { return t.doneAt }
+
+// Remaining returns the bytes still to be delivered.
+func (t *Transfer) Remaining() float64 { return t.remaining }
+
+// Total returns the transfer's payload size in bytes.
+func (t *Transfer) Total() float64 { return t.total }
+
+// Allocated returns the rate in bytes/s granted at the last Step.
+func (t *Transfer) Allocated() float64 { return t.allocated }
+
+// Network emulates all WAN links between the sites of a topology.
+// Not safe for concurrent use; the simulation is single-threaded.
+type Network struct {
+	top          *topology.Topology
+	globalFactor *trace.Trace
+	linkFactors  map[linkKey]*trace.Trace
+	flows        map[int]*Flow
+	transfers    map[int]*Transfer
+	nextID       int
+}
+
+// New creates a Network over the given topology with no dynamics (factor 1
+// everywhere).
+func New(top *topology.Topology) *Network {
+	return &Network{
+		top:          top,
+		globalFactor: trace.Constant(1),
+		linkFactors:  make(map[linkKey]*trace.Trace),
+		flows:        make(map[int]*Flow),
+		transfers:    make(map[int]*Transfer),
+	}
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topology.Topology { return n.top }
+
+// SetGlobalFactor installs a bandwidth factor trace applied to every
+// inter-site link (intra-site fabric is not modulated). Used for scripted
+// dynamics such as "halve the bandwidth of every link at t=900".
+func (n *Network) SetGlobalFactor(tr *trace.Trace) {
+	if tr == nil {
+		tr = trace.Constant(1)
+	}
+	n.globalFactor = tr
+}
+
+// SetLinkFactor installs a per-link factor trace for from→to, multiplied
+// with the global factor.
+func (n *Network) SetLinkFactor(from, to topology.SiteID, tr *trace.Trace) {
+	n.linkFactors[linkKey{from, to}] = tr
+}
+
+// Capacity returns the from→to link capacity at time now, in bytes/s,
+// after applying dynamics factors.
+func (n *Network) Capacity(from, to topology.SiteID, now vclock.Time) float64 {
+	base := n.top.BaseBandwidth(from, to).BytesPerSec()
+	if from == to {
+		return base // intra-site fabric is not subject to WAN dynamics
+	}
+	f := n.globalFactor.At(now)
+	if lt, ok := n.linkFactors[linkKey{from, to}]; ok {
+		f *= lt.At(now)
+	}
+	return base * f
+}
+
+// CapacityMbps returns Capacity converted to Mbps, for reporting.
+func (n *Network) CapacityMbps(from, to topology.SiteID, now vclock.Time) topology.Mbps {
+	return topology.Mbps(n.Capacity(from, to, now) * 8 / 1e6)
+}
+
+// Latency returns the one-way from→to latency.
+func (n *Network) Latency(from, to topology.SiteID) time.Duration {
+	return n.top.Latency(from, to)
+}
+
+// AddFlow registers a persistent flow on the from→to link with zero
+// initial demand.
+func (n *Network) AddFlow(from, to topology.SiteID) *Flow {
+	f := &Flow{id: n.nextID, From: from, To: to}
+	n.nextID++
+	n.flows[f.id] = f
+	return f
+}
+
+// RemoveFlow detaches a flow from the network. Removing twice is a no-op.
+func (n *Network) RemoveFlow(f *Flow) {
+	if f == nil || f.removed {
+		return
+	}
+	f.removed = true
+	f.allocated = 0
+	delete(n.flows, f.id)
+}
+
+// StartTransfer begins a bulk transfer of the given number of bytes on the
+// from→to link. A non-positive size completes immediately at the next Step.
+func (n *Network) StartTransfer(from, to topology.SiteID, bytes float64) *Transfer {
+	t := &Transfer{
+		id:        n.nextID,
+		From:      from,
+		To:        to,
+		total:     math.Max(bytes, 0),
+		remaining: math.Max(bytes, 0),
+	}
+	n.nextID++
+	n.transfers[t.id] = t
+	return t
+}
+
+// EstimateTransferTime predicts how long a transfer of `bytes` over
+// from→to would take at the link's current capacity, ignoring contention —
+// exactly the |state|/B estimator the paper uses for t_adapt (§6.2).
+func (n *Network) EstimateTransferTime(from, to topology.SiteID, bytes float64, now vclock.Time) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	c := n.Capacity(from, to, now)
+	if c <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(bytes / c * float64(time.Second))
+}
+
+// claimant is one bandwidth consumer in a link's fair-share computation.
+type claimant struct {
+	demand   float64
+	flow     *Flow
+	transfer *Transfer
+}
+
+// Step advances the network by dt ending at virtual time `now`: it
+// recomputes every link's max-min fair allocation over its flows and
+// transfers (using the capacity at the *start* of the interval) and
+// progresses transfers. Completed transfers are removed and stamped with
+// their completion time.
+func (n *Network) Step(now vclock.Time, dt time.Duration) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("netsim: non-positive step %v", dt))
+	}
+	start := now - vclock.Time(dt)
+	dtSec := dt.Seconds()
+
+	// Claimants are gathered in ascending-ID order so that fair-share
+	// tie-breaking (and therefore the whole simulation) is deterministic.
+	byLink := make(map[linkKey][]claimant)
+	for _, id := range sortedKeys(n.flows) {
+		f := n.flows[id]
+		byLink[linkKey{f.From, f.To}] = append(byLink[linkKey{f.From, f.To}], claimant{demand: f.demand, flow: f})
+	}
+	transferIDs := sortedKeys(n.transfers)
+	for _, id := range transferIDs {
+		t := n.transfers[id]
+		// A transfer wants to finish within this step if it can.
+		byLink[linkKey{t.From, t.To}] = append(byLink[linkKey{t.From, t.To}],
+			claimant{demand: t.remaining / dtSec, transfer: t})
+	}
+
+	for key, cs := range byLink {
+		capacity := n.Capacity(key.from, key.to, start)
+		alloc := maxMinFairShare(capacity, cs)
+		for i, c := range cs {
+			if c.flow != nil {
+				c.flow.allocated = alloc[i]
+			} else {
+				c.transfer.allocated = alloc[i]
+			}
+		}
+	}
+
+	for _, id := range transferIDs {
+		t := n.transfers[id]
+		moved := t.allocated * dtSec
+		t.remaining -= moved
+		if t.remaining <= 1e-6 {
+			t.remaining = 0
+			t.done = true
+			t.doneAt = now
+			t.allocated = 0
+			delete(n.transfers, id)
+		}
+	}
+}
+
+// sortedKeys returns a map's int keys ascending.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// maxMinFairShare computes the max-min fair allocation of `capacity` among
+// claimants with the given demands: claimants that demand less than the
+// equal share keep their demand; the remainder is split among the rest,
+// iteratively (progressive filling).
+func maxMinFairShare(capacity float64, cs []claimant) []float64 {
+	alloc := make([]float64, len(cs))
+	if capacity <= 0 || len(cs) == 0 {
+		return alloc
+	}
+	// Sort indices by demand ascending.
+	idx := make([]int, len(cs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cs[idx[a]].demand < cs[idx[b]].demand })
+
+	remaining := capacity
+	left := len(cs)
+	for _, i := range idx {
+		share := remaining / float64(left)
+		grant := math.Min(cs[i].demand, share)
+		alloc[i] = grant
+		remaining -= grant
+		left--
+	}
+	return alloc
+}

@@ -1,0 +1,170 @@
+// Package physical models physical query plans: each logical operator
+// becomes an execution stage running `parallelism` tasks, each task bound
+// to one computing slot at one site. The package also provides WASP's
+// WAN-aware initial scheduler (one stage at a time in topological order,
+// §4.1) and the joint logical/physical planner used by query re-planning
+// (§4.3).
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/wasp-stream/wasp/internal/placement"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// TaskID identifies one task: the Index-th parallel instance of the stage
+// executing logical operator Op.
+type TaskID struct {
+	Op    plan.OpID
+	Index int
+}
+
+// String renders e.g. "op3#1".
+func (t TaskID) String() string { return fmt.Sprintf("op%d#%d", t.Op, t.Index) }
+
+// Stage is the physical execution of one logical operator.
+type Stage struct {
+	// Op points at the operator in the plan's logical graph.
+	Op *plan.Operator
+	// Sites lists each task's site; len(Sites) is the stage parallelism.
+	Sites []topology.SiteID
+}
+
+// Parallelism returns the stage's task count.
+func (s *Stage) Parallelism() int { return len(s.Sites) }
+
+// TasksPerSite aggregates the stage's placement as p[s].
+func (s *Stage) TasksPerSite(numSites int) []int {
+	out := make([]int, numSites)
+	for _, site := range s.Sites {
+		out[site]++
+	}
+	return out
+}
+
+// DistinctSites returns the sites hosting at least one task, ascending.
+func (s *Stage) DistinctSites() []topology.SiteID {
+	seen := make(map[topology.SiteID]bool)
+	for _, site := range s.Sites {
+		seen[site] = true
+	}
+	out := make([]topology.SiteID, 0, len(seen))
+	for site := range seen {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Plan is a physical plan over a logical graph.
+type Plan struct {
+	Graph  *plan.Graph
+	Stages map[plan.OpID]*Stage
+}
+
+// FromLogical creates an unplaced physical plan: one stage per logical
+// operator, all with empty placements. Use Schedule to place tasks.
+func FromLogical(g *plan.Graph) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{Graph: g, Stages: make(map[plan.OpID]*Stage, g.Len())}
+	for _, id := range g.OperatorIDs() {
+		p.Stages[id] = &Stage{Op: g.Operator(id)}
+	}
+	return p, nil
+}
+
+// StageIDs returns the plan's operator IDs in topological order.
+func (p *Plan) StageIDs() ([]plan.OpID, error) { return p.Graph.TopoOrder() }
+
+// SlotsUsed returns the number of slots occupied per site across all
+// stages.
+func (p *Plan) SlotsUsed(numSites int) []int {
+	used := make([]int, numSites)
+	for _, st := range p.Stages {
+		for _, site := range st.Sites {
+			used[site]++
+		}
+	}
+	return used
+}
+
+// TotalTasks returns the number of tasks across all stages.
+func (p *Plan) TotalTasks() int {
+	total := 0
+	for _, st := range p.Stages {
+		total += len(st.Sites)
+	}
+	return total
+}
+
+// Validate checks the plan against a topology: every stage placed, every
+// site within slot capacity, pinned stages at their pinned site.
+func (p *Plan) Validate(top *topology.Topology) error {
+	for id, st := range p.Stages {
+		if len(st.Sites) == 0 {
+			return fmt.Errorf("physical: stage %q (op %d) not placed", st.Op.Name, id)
+		}
+		if st.Op.PinnedSite != plan.NoSite {
+			for _, site := range st.Sites {
+				if site != st.Op.PinnedSite {
+					return fmt.Errorf("physical: pinned stage %q has task at site %d", st.Op.Name, site)
+				}
+			}
+		}
+		for _, site := range st.Sites {
+			if int(site) < 0 || int(site) >= top.N() {
+				return fmt.Errorf("physical: stage %q task at unknown site %d", st.Op.Name, site)
+			}
+		}
+	}
+	used := p.SlotsUsed(top.N())
+	for s, n := range used {
+		if n > top.Slots(topology.SiteID(s)) {
+			return fmt.Errorf("physical: site %d over capacity: %d > %d slots", s, n, top.Slots(topology.SiteID(s)))
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the plan (sharing the logical graph's operator structs
+// via a cloned graph).
+func (p *Plan) Clone() *Plan {
+	g := p.Graph.Clone()
+	c := &Plan{Graph: g, Stages: make(map[plan.OpID]*Stage, len(p.Stages))}
+	for id, st := range p.Stages {
+		c.Stages[id] = &Stage{
+			Op:    g.Operator(id),
+			Sites: append([]topology.SiteID(nil), st.Sites...),
+		}
+	}
+	return c
+}
+
+// Endpoints summarises a stage's placement as weighted per-site endpoints,
+// weighting each site by its share of the stage's tasks (even event
+// partitioning, §7).
+func (s *Stage) Endpoints() []placement.Endpoint {
+	if len(s.Sites) == 0 {
+		return nil
+	}
+	perSite := make(map[topology.SiteID]int)
+	for _, site := range s.Sites {
+		perSite[site]++
+	}
+	sites := make([]topology.SiteID, 0, len(perSite))
+	for site := range perSite {
+		sites = append(sites, site)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	out := make([]placement.Endpoint, 0, len(sites))
+	total := float64(len(s.Sites))
+	for _, site := range sites {
+		out = append(out, placement.Endpoint{Site: site, Weight: float64(perSite[site]) / total})
+	}
+	return out
+}

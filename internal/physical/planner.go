@@ -1,0 +1,155 @@
+package physical
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/wasp-stream/wasp/internal/placement"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// ErrNoCandidate is returned when no plan variant can be scheduled under
+// the current constraints.
+var ErrNoCandidate = errors.New("physical: no schedulable plan variant")
+
+// PlannerConfig parameterises the joint logical/physical planner.
+type PlannerConfig struct {
+	ScheduleConfig
+	// MaxVariants caps how many combine orders are evaluated (the paper
+	// restricts enumeration to aggregation/join orders to stay
+	// tractable, §8.1). Zero means DefaultMaxVariants.
+	MaxVariants int
+	// WANWeight converts WAN consumption (bytes/s) into cost units when
+	// ranking candidates, trading delay against bandwidth use. Zero
+	// means DefaultWANWeight.
+	WANWeight float64
+}
+
+// DefaultMaxVariants bounds the combine-order enumeration: 105 covers all
+// orders for up to 5 inputs; beyond that the planner evaluates a capped
+// prefix plus the left-deep and balanced heuristics.
+const DefaultMaxVariants = 105
+
+// DefaultWANWeight prices one byte/s of WAN traffic at 10 ns of delay
+// cost, making WAN consumption the decisive tie-break between plans with
+// comparable latency (the Fig 5 behaviour).
+const DefaultWANWeight = 10e-9
+
+// Candidate is one evaluated (logical variant, placement) pair.
+type Candidate struct {
+	Variant *plan.Variant
+	Plan    *Plan
+	// DelayVolume is Σ over cross-site flows of bytes/s × latency — the
+	// estimated aggregate in-flight delay (seconds·bytes/s).
+	DelayVolume float64
+	// WANBytesPerSec is the total cross-site traffic.
+	WANBytesPerSec float64
+	// Cost is the combined objective the planner minimizes.
+	Cost float64
+}
+
+// PlanQuery jointly optimizes the combine order and task placement for a
+// query whose base graph and re-orderable combine group are given. It
+// returns the best candidate and all evaluated (feasible) candidates
+// sorted by cost. The base graph should already be logically optimized
+// (plan.PushDownFilters).
+func PlanQuery(base *plan.Graph, spec *plan.CombineSpec, top *topology.Topology, cfg PlannerConfig) (*Candidate, []Candidate, error) {
+	return planQuery(base, spec, top, cfg, nil)
+}
+
+// ReplanQuery is PlanQuery restricted to variants that can take over the
+// current variant's state: every stateful combine sub-plan of `current`
+// must appear in the candidate (§4.3). Pass requireAdmissible=false for
+// stateless executions (or tumbling-window boundary switches), where any
+// variant is acceptable.
+func ReplanQuery(base *plan.Graph, spec *plan.CombineSpec, current *plan.Variant, requireAdmissible bool, top *topology.Topology, cfg PlannerConfig) (*Candidate, []Candidate, error) {
+	var filter func(v *plan.Variant) bool
+	if requireAdmissible && current != nil {
+		filter = func(v *plan.Variant) bool { return v.AdmissibleFrom(current) }
+	}
+	return planQuery(base, spec, top, cfg, filter)
+}
+
+func planQuery(base *plan.Graph, spec *plan.CombineSpec, top *topology.Topology, cfg PlannerConfig, admit func(*plan.Variant) bool) (*Candidate, []Candidate, error) {
+	maxVariants := cfg.MaxVariants
+	if maxVariants == 0 {
+		maxVariants = DefaultMaxVariants
+	}
+	wanWeight := cfg.WANWeight
+	if wanWeight == 0 {
+		wanWeight = DefaultWANWeight
+	}
+
+	k := len(spec.Inputs)
+	trees := plan.EnumerateTrees(k, maxVariants)
+
+	var candidates []Candidate
+	for _, tree := range trees {
+		v, err := spec.Expand(base, tree)
+		if err != nil {
+			return nil, nil, fmt.Errorf("expand %v: %w", tree, err)
+		}
+		if admit != nil && !admit(v) {
+			continue
+		}
+		p, err := FromLogical(v.Graph)
+		if err != nil {
+			return nil, nil, fmt.Errorf("variant %v: %w", tree, err)
+		}
+		if err := Schedule(p, top, cfg.ScheduleConfig); err != nil {
+			if errors.Is(err, placement.ErrInfeasible) {
+				continue // variant not schedulable under current bandwidth
+			}
+			return nil, nil, err
+		}
+		delayVol, wan, err := EstimateCost(p, top, cfg.RateFactor)
+		if err != nil {
+			return nil, nil, err
+		}
+		candidates = append(candidates, Candidate{
+			Variant:        v,
+			Plan:           p,
+			DelayVolume:    delayVol,
+			WANBytesPerSec: wan,
+			Cost:           delayVol + wanWeight*wan,
+		})
+	}
+	if len(candidates) == 0 {
+		return nil, nil, ErrNoCandidate
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Cost < candidates[j].Cost })
+	best := candidates[0]
+	return &best, candidates, nil
+}
+
+// EstimateCost computes the plan's estimated delay-volume (Σ cross-site
+// flow × link latency, in seconds·bytes/s) and total WAN consumption
+// (bytes/s) under even event partitioning.
+func EstimateCost(p *Plan, top *topology.Topology, rateFactor float64) (delayVolume, wanBytesPerSec float64, err error) {
+	if rateFactor == 0 {
+		rateFactor = 1
+	}
+	_, _, outBytes, err := p.Graph.ExpectedRates(rateFactor)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, from := range p.Graph.OperatorIDs() {
+		fromEPs := p.Stages[from].Endpoints()
+		for _, to := range p.Graph.Downstream(from) {
+			toEPs := p.Stages[to].Endpoints()
+			for _, fe := range fromEPs {
+				for _, te := range toEPs {
+					flow := outBytes[from] * fe.Weight * te.Weight
+					if fe.Site == te.Site || flow == 0 {
+						continue
+					}
+					wanBytesPerSec += flow
+					delayVolume += flow * top.Latency(fe.Site, te.Site).Seconds()
+				}
+			}
+		}
+	}
+	return delayVolume, wanBytesPerSec, nil
+}

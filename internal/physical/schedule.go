@@ -1,0 +1,220 @@
+package physical
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/placement"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// ScheduleConfig parameterises the WAN-aware topological scheduler.
+type ScheduleConfig struct {
+	// Alpha is the bandwidth utilization threshold α (paper default 0.8).
+	Alpha float64
+	// DefaultParallelism applies to every unpinned stage unless
+	// overridden (paper §8.3 initializes all operators with p=1).
+	DefaultParallelism int
+	// Parallelism overrides per operator.
+	Parallelism map[plan.OpID]int
+	// RateFactor scales source rates when estimating stream rates.
+	RateFactor float64
+	// Bandwidth returns the currently available from→to link capacity in
+	// bytes/s. If nil, the topology's base bandwidth is used.
+	Bandwidth func(from, to topology.SiteID) float64
+	// Conservative selects the literal reading of the paper's bandwidth
+	// constraints (each link must fit a site's whole stream share); see
+	// placement.Problem.Conservative.
+	Conservative bool
+}
+
+func (cfg *ScheduleConfig) withDefaults(top *topology.Topology) ScheduleConfig {
+	out := *cfg
+	if out.Alpha == 0 {
+		out.Alpha = 0.8
+	}
+	if out.DefaultParallelism == 0 {
+		out.DefaultParallelism = 1
+	}
+	if out.RateFactor == 0 {
+		out.RateFactor = 1
+	}
+	if out.Bandwidth == nil {
+		out.Bandwidth = func(from, to topology.SiteID) float64 {
+			return top.BaseBandwidth(from, to).BytesPerSec()
+		}
+	}
+	return out
+}
+
+func (cfg *ScheduleConfig) parallelismFor(op *plan.Operator) int {
+	if op.PinnedSite != plan.NoSite {
+		return 1 // pinned endpoints run a single task at their site
+	}
+	if p, ok := cfg.Parallelism[op.ID]; ok {
+		return p
+	}
+	return cfg.DefaultParallelism
+}
+
+// Schedule places every stage of the plan, one stage at a time in
+// topological order using the upstream deployments (the initial-placement
+// strategy of prior WAN-aware schedulers that §4.1 builds on), solving the
+// placement program per stage. It mutates p's stages and returns an error
+// (wrapping placement.ErrInfeasible) if any stage cannot be placed.
+func Schedule(p *Plan, top *topology.Topology, cfg ScheduleConfig) error {
+	c := cfg.withDefaults(top)
+	order, err := p.StageIDs()
+	if err != nil {
+		return err
+	}
+	_, _, outBytes, err := p.Graph.ExpectedRates(c.RateFactor)
+	if err != nil {
+		return err
+	}
+
+	avail := make([]int, top.N())
+	for s := range avail {
+		avail[s] = top.Slots(topology.SiteID(s))
+	}
+	// Reserve the slots pinned stages will need, so that free stages
+	// scheduled earlier in topological order cannot exhaust them.
+	for _, id := range order {
+		op := p.Stages[id].Op
+		if op.PinnedSite != plan.NoSite {
+			avail[op.PinnedSite] -= c.parallelismFor(op)
+		}
+	}
+
+	for _, id := range order {
+		st := p.Stages[id]
+		par := c.parallelismFor(st.Op)
+		if par < 1 {
+			return fmt.Errorf("physical: stage %q parallelism %d < 1", st.Op.Name, par)
+		}
+		if st.Op.PinnedSite != plan.NoSite {
+			avail[st.Op.PinnedSite] += par // release this stage's own reservation
+		}
+		pl, err := solveStage(p, id, par, avail, top, c, outBytes, outBytes[id], nil)
+		if err != nil {
+			return fmt.Errorf("schedule stage %q: %w", st.Op.Name, err)
+		}
+		st.Sites = expandPlacement(pl)
+		for s, n := range pl.TasksPerSite {
+			avail[s] -= n
+		}
+	}
+	return nil
+}
+
+// solveStage builds and solves the placement problem for one stage given
+// the current deployments of its neighbours. downstreamOverride, when
+// non-nil, supplies downstream endpoints (used by re-assignment, which
+// considers both sides); during initial scheduling downstream stages are
+// not yet placed and the side is empty.
+func solveStage(
+	p *Plan,
+	id plan.OpID,
+	parallelism int,
+	avail []int,
+	top *topology.Topology,
+	cfg ScheduleConfig,
+	outBytes map[plan.OpID]float64,
+	outputBytes float64,
+	downstreamOverride []placement.Endpoint,
+) (*placement.Placement, error) {
+	st := p.Stages[id]
+
+	var ups []placement.Endpoint
+	var inBytes float64
+	for _, u := range p.Graph.Upstream(id) {
+		uStage := p.Stages[u]
+		share := outBytes[u]
+		inBytes += share
+		for _, ep := range uStage.Endpoints() {
+			ups = append(ups, placement.Endpoint{Site: ep.Site, Weight: ep.Weight * share})
+		}
+	}
+	// Normalize upstream weights to fractions of the stage input.
+	if inBytes > 0 {
+		for i := range ups {
+			ups[i].Weight /= inBytes
+		}
+	}
+
+	downs := downstreamOverride
+
+	pinned := plan.NoSite
+	if st.Op.PinnedSite != plan.NoSite {
+		pinned = st.Op.PinnedSite
+	}
+
+	pr := &placement.Problem{
+		Sites:             top.N(),
+		Parallelism:       parallelism,
+		AvailableSlots:    avail,
+		Upstream:          ups,
+		Downstream:        downs,
+		InputBytesPerSec:  inBytes,
+		OutputBytesPerSec: outputBytes,
+		Alpha:             cfg.Alpha,
+		Latency: func(from, to topology.SiteID) time.Duration {
+			return top.Latency(from, to)
+		},
+		Bandwidth:    cfg.Bandwidth,
+		Conservative: cfg.Conservative,
+		Pinned:       pinned,
+	}
+	return placement.Solve(pr)
+}
+
+// expandPlacement converts p[s] counts into a site list, ascending by
+// site, deterministic.
+func expandPlacement(pl *placement.Placement) []topology.SiteID {
+	var sites []topology.SiteID
+	for s, n := range pl.TasksPerSite {
+		for i := 0; i < n; i++ {
+			sites = append(sites, topology.SiteID(s))
+		}
+	}
+	return sites
+}
+
+// ReassignStage re-solves the placement of a single already-running stage
+// considering BOTH its upstream and downstream deployments (§4.1) at the
+// stage's current parallelism. freeSlots must count the stage's own slots
+// as available. It returns the new placement without mutating the plan.
+func ReassignStage(
+	p *Plan,
+	id plan.OpID,
+	top *topology.Topology,
+	cfg ScheduleConfig,
+	freeSlots []int,
+) (*placement.Placement, error) {
+	c := cfg.withDefaults(top)
+	_, _, outBytes, err := p.Graph.ExpectedRates(c.RateFactor)
+	if err != nil {
+		return nil, err
+	}
+	st := p.Stages[id]
+
+	// Downstream endpoints weighted by each consumer's share of this
+	// stage's total outbound traffic. Every consumer receives the full
+	// output stream, so the stage's total outbound rate is
+	// outBytes × #consumers and each consumer endpoint carries its task
+	// distribution's fraction of one stream.
+	var downs []placement.Endpoint
+	consumers := p.Graph.Downstream(id)
+	for _, d := range consumers {
+		for _, ep := range p.Stages[d].Endpoints() {
+			downs = append(downs, placement.Endpoint{
+				Site:   ep.Site,
+				Weight: ep.Weight / float64(len(consumers)),
+			})
+		}
+	}
+	outputBytes := outBytes[id] * float64(len(consumers))
+
+	return solveStage(p, id, st.Parallelism(), freeSlots, top, c, outBytes, outputBytes, downs)
+}

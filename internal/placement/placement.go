@@ -1,0 +1,270 @@
+// Package placement solves WASP's WAN-aware task-placement problem
+// (§4.1, Equations 1–5): choose how many tasks p[s] of a stage to run at
+// each site so as to minimize the network delay to/from the stage's
+// upstream and downstream deployments,
+//
+//	min Σ_s p[s]·(ℓ_su + ℓ_ds)                    (1)
+//
+// subject to inbound and outbound bandwidth headroom on every WAN link
+// ((p[s]/p)·λ̂ < α·B, constraints 2–3), per-site slot capacity (4), and
+// full deployment Σ p[s] = p (5).
+//
+// Because every bandwidth constraint involves a single variable p[s], the
+// integer program is separable: each site has an independent upper bound
+// and the linear objective is minimized exactly by filling sites in
+// ascending cost order. Solve is therefore exact; the test suite verifies
+// it against an exhaustive reference on randomized instances.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// ErrInfeasible is returned when no placement satisfies the constraints —
+// e.g. too few slots, or every bandwidth-feasible site is exhausted. The
+// caller (WASP's adaptation policy) reacts by scaling or re-planning.
+var ErrInfeasible = errors.New("placement: no feasible placement")
+
+// Endpoint is one site of the stage's upstream (or downstream) deployment
+// together with the fraction of the stage's input (or output) stream that
+// flows over it.
+type Endpoint struct {
+	Site   topology.SiteID
+	Weight float64
+}
+
+// Problem is one placement instance for a single stage.
+type Problem struct {
+	// Sites is the number of sites m.
+	Sites int
+	// Parallelism is the number of tasks p to place.
+	Parallelism int
+	// AvailableSlots is A[s] per site. Slots currently held by the tasks
+	// being re-placed should be counted as available.
+	AvailableSlots []int
+	// Upstream and Downstream describe where the stage's input comes
+	// from and where its output goes. Weights should sum to 1 per side;
+	// an empty side imposes no constraints or cost.
+	Upstream   []Endpoint
+	Downstream []Endpoint
+	// InputBytesPerSec and OutputBytesPerSec are the stage's expected
+	// total stream rates λ̂I and λ̂O, in bytes/s (actual workload, §3.3).
+	InputBytesPerSec  float64
+	OutputBytesPerSec float64
+	// Alpha is the bandwidth utilization threshold α ∈ (0,1), paper
+	// default 0.8.
+	Alpha float64
+	// Latency returns the one-way delay between sites; Bandwidth returns
+	// the currently available link capacity in bytes/s.
+	Latency   func(from, to topology.SiteID) time.Duration
+	Bandwidth func(from, to topology.SiteID) float64
+	// Conservative selects the literal reading of constraints (2)–(3):
+	// each link must carry the site's whole input/output share, i.e.
+	// (p[s]/p)·λ̂ < α·B for every upstream/downstream link. When false
+	// (default), each link carries only its endpoint's weighted share:
+	// (p[s]/p)·w_u·λ̂ < α·B.
+	Conservative bool
+	// Pinned, when >= 0, forces all tasks onto one site (pinned
+	// operators such as sources and sinks).
+	Pinned topology.SiteID
+}
+
+// Placement is a solved assignment.
+type Placement struct {
+	// TasksPerSite is p[s] for every site.
+	TasksPerSite []int
+	// Cost is the objective value: Σ_s p[s]·(weighted up/down latency),
+	// in seconds.
+	Cost float64
+}
+
+// Sites returns the IDs of sites hosting at least one task, ascending.
+func (p *Placement) Sites() []topology.SiteID {
+	var out []topology.SiteID
+	for s, n := range p.TasksPerSite {
+		if n > 0 {
+			out = append(out, topology.SiteID(s))
+		}
+	}
+	return out
+}
+
+// Total returns the number of placed tasks.
+func (p *Placement) Total() int {
+	total := 0
+	for _, n := range p.TasksPerSite {
+		total += n
+	}
+	return total
+}
+
+// String renders the non-empty sites, e.g. "{2:1 5:3}".
+func (p *Placement) String() string {
+	s := "{"
+	first := true
+	for site, n := range p.TasksPerSite {
+		if n == 0 {
+			continue
+		}
+		if !first {
+			s += " "
+		}
+		first = false
+		s += fmt.Sprintf("%d:%d", site, n)
+	}
+	return s + "}"
+}
+
+func (pr *Problem) validate() error {
+	if pr.Sites <= 0 {
+		return errors.New("placement: no sites")
+	}
+	if pr.Parallelism < 1 {
+		return errors.New("placement: parallelism must be >= 1")
+	}
+	if len(pr.AvailableSlots) != pr.Sites {
+		return fmt.Errorf("placement: slots for %d sites, want %d", len(pr.AvailableSlots), pr.Sites)
+	}
+	if pr.Alpha <= 0 || pr.Alpha >= 1 {
+		return fmt.Errorf("placement: alpha %v outside (0,1)", pr.Alpha)
+	}
+	if pr.Latency == nil || pr.Bandwidth == nil {
+		return errors.New("placement: nil latency/bandwidth functions")
+	}
+	return nil
+}
+
+// UpperBounds computes the per-site maximum task count implied by the slot
+// and bandwidth constraints. Exported for the adaptation policy, which
+// uses the bounds to size scale-out decisions.
+func (pr *Problem) UpperBounds() ([]int, error) {
+	if err := pr.validate(); err != nil {
+		return nil, err
+	}
+	p := float64(pr.Parallelism)
+	ub := make([]int, pr.Sites)
+	for s := 0; s < pr.Sites; s++ {
+		site := topology.SiteID(s)
+		bound := pr.AvailableSlots[s]
+		if pr.Pinned >= 0 && site != pr.Pinned {
+			ub[s] = 0
+			continue
+		}
+		// Inbound constraints (2): for each upstream endpoint u ≠ s.
+		for _, u := range pr.Upstream {
+			if u.Site == site {
+				continue
+			}
+			rate := pr.InputBytesPerSec
+			if !pr.Conservative {
+				rate *= u.Weight
+			}
+			bound = min(bound, linkBound(rate, pr.Alpha*pr.Bandwidth(u.Site, site), p))
+		}
+		// Outbound constraints (3): for each downstream endpoint d ≠ s.
+		for _, d := range pr.Downstream {
+			if d.Site == site {
+				continue
+			}
+			rate := pr.OutputBytesPerSec
+			if !pr.Conservative {
+				rate *= d.Weight
+			}
+			bound = min(bound, linkBound(rate, pr.Alpha*pr.Bandwidth(site, d.Site), p))
+		}
+		ub[s] = max(bound, 0)
+	}
+	return ub, nil
+}
+
+// linkBound returns the largest integer x satisfying (x/p)·rate < capacity
+// (strict, per the paper), or p when the constraint never binds.
+func linkBound(rate, capacity, p float64) int {
+	if rate <= 0 {
+		return int(p)
+	}
+	if capacity <= 0 {
+		return 0
+	}
+	bound := p * capacity / rate
+	// Largest integer strictly below `bound`: floor for fractional bounds,
+	// bound-1 for integral ones (the constraint is a strict inequality).
+	return int(math.Ceil(bound-1e-9)) - 1
+}
+
+// CostPerTask returns the objective coefficient for placing one task at
+// site s: the weighted upstream + downstream latency, in seconds.
+func (pr *Problem) CostPerTask(s topology.SiteID) float64 {
+	var c float64
+	for _, u := range pr.Upstream {
+		c += u.Weight * pr.Latency(u.Site, s).Seconds()
+	}
+	for _, d := range pr.Downstream {
+		c += d.Weight * pr.Latency(s, d.Site).Seconds()
+	}
+	return c
+}
+
+// Solve returns an exact optimal placement, or ErrInfeasible.
+func Solve(pr *Problem) (*Placement, error) {
+	ub, err := pr.UpperBounds()
+	if err != nil {
+		return nil, err
+	}
+
+	type siteCost struct {
+		site topology.SiteID
+		cost float64
+	}
+	order := make([]siteCost, pr.Sites)
+	for s := 0; s < pr.Sites; s++ {
+		order[s] = siteCost{site: topology.SiteID(s), cost: pr.CostPerTask(topology.SiteID(s))}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].cost != order[j].cost {
+			return order[i].cost < order[j].cost
+		}
+		return order[i].site < order[j].site
+	})
+
+	result := &Placement{TasksPerSite: make([]int, pr.Sites)}
+	remaining := pr.Parallelism
+	for _, sc := range order {
+		if remaining == 0 {
+			break
+		}
+		n := min(remaining, ub[sc.site])
+		if n <= 0 {
+			continue
+		}
+		result.TasksPerSite[sc.site] = n
+		result.Cost += float64(n) * sc.cost
+		remaining -= n
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("%w: %d of %d tasks unplaced", ErrInfeasible, remaining, pr.Parallelism)
+	}
+	return result, nil
+}
+
+// MaxFeasibleParallelism returns the largest total task count the
+// constraints admit (Σ_s ub[s] evaluated with the given parallelism used
+// for the bandwidth shares). The adaptation policy uses it to size
+// scale-outs.
+func (pr *Problem) MaxFeasibleParallelism() (int, error) {
+	ub, err := pr.UpperBounds()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, b := range ub {
+		total += b
+	}
+	return total, nil
+}

@@ -1,0 +1,254 @@
+package plan
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// LeafSet is a bitmask over the input indices of a CombineSpec. Each
+// internal combine node of an expanded plan covers a LeafSet; two plans
+// share a common sub-plan over a set of inputs exactly when both contain a
+// node with that LeafSet (§4.3).
+type LeafSet uint64
+
+// Has reports whether leaf index i is in the set.
+func (s LeafSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Count returns the number of leaves in the set.
+func (s LeafSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// String renders the set as e.g. "{0,2,3}".
+func (s LeafSet) String() string {
+	var parts []string
+	for i := 0; i < 64; i++ {
+		if s.Has(i) {
+			parts = append(parts, fmt.Sprintf("%d", i))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Tree is an unordered binary combine tree over leaf indices 0..k-1.
+type Tree struct {
+	Leaf int   // leaf index if L == nil
+	L, R *Tree // children for internal nodes
+	Set  LeafSet
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (t *Tree) IsLeaf() bool { return t.L == nil }
+
+// String renders the tree, e.g. "((0+1)+(2+3))".
+func (t *Tree) String() string {
+	if t.IsLeaf() {
+		return fmt.Sprintf("%d", t.Leaf)
+	}
+	return "(" + t.L.String() + "+" + t.R.String() + ")"
+}
+
+// internalSets appends the LeafSets of all internal (combine) nodes.
+func (t *Tree) internalSets(out []LeafSet) []LeafSet {
+	if t.IsLeaf() {
+		return out
+	}
+	out = append(out, t.Set)
+	out = t.L.internalSets(out)
+	return t.R.internalSets(out)
+}
+
+// leaf returns a leaf node for index i.
+func leaf(i int) *Tree { return &Tree{Leaf: i, Set: 1 << uint(i)} }
+
+// combine returns an internal node joining l and r.
+func combine(l, r *Tree) *Tree { return &Tree{Leaf: -1, L: l, R: r, Set: l.Set | r.Set} }
+
+// EnumerateTrees returns all structurally distinct unordered binary trees
+// over k labeled leaves — the alternative pairwise combine orders of a
+// commutative, associative n-way join/aggregation. There are (2k-3)!! such
+// trees; enumeration stops after max trees when max > 0. k must be within
+// [1, 16].
+func EnumerateTrees(k, max int) []*Tree {
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("plan: EnumerateTrees k=%d out of range [1,16]", k))
+	}
+	full := LeafSet(1<<uint(k)) - 1
+	memo := make(map[LeafSet][]*Tree)
+	var build func(s LeafSet) []*Tree
+	build = func(s LeafSet) []*Tree {
+		if ts, ok := memo[s]; ok {
+			return ts
+		}
+		var ts []*Tree
+		if s.Count() == 1 {
+			ts = []*Tree{leaf(bits.TrailingZeros64(uint64(s)))}
+		} else {
+			// Canonical split: the left part always contains the lowest
+			// leaf of s, so each unordered split is produced exactly once.
+			low := LeafSet(1) << uint(bits.TrailingZeros64(uint64(s)))
+			rest := s &^ low
+			// Enumerate subsets of rest to join with low on the left.
+			for sub := LeafSet(0); ; sub = (sub - rest) & rest {
+				left := low | sub
+				right := s &^ left
+				if right != 0 {
+					for _, lt := range build(left) {
+						for _, rt := range build(right) {
+							ts = append(ts, combine(lt, rt))
+						}
+					}
+				}
+				if sub == rest {
+					break
+				}
+			}
+		}
+		memo[s] = ts
+		return ts
+	}
+	trees := build(full)
+	if max > 0 && len(trees) > max {
+		trees = trees[:max]
+	}
+	return trees
+}
+
+// LeftDeepTree builds the left-deep tree combining leaves in the given
+// order: ((order[0]+order[1])+order[2])+...
+func LeftDeepTree(order []int) *Tree {
+	if len(order) == 0 {
+		panic("plan: LeftDeepTree needs at least one leaf")
+	}
+	t := leaf(order[0])
+	for _, i := range order[1:] {
+		t = combine(t, leaf(i))
+	}
+	return t
+}
+
+// BalancedTree builds a balanced tree over leaves 0..k-1.
+func BalancedTree(k int) *Tree {
+	if k < 1 {
+		panic("plan: BalancedTree needs at least one leaf")
+	}
+	var build func(lo, hi int) *Tree
+	build = func(lo, hi int) *Tree {
+		if hi-lo == 1 {
+			return leaf(lo)
+		}
+		mid := (lo + hi) / 2
+		return combine(build(lo, mid), build(mid, hi))
+	}
+	return build(0, k)
+}
+
+// CombineSpec describes a commutative, associative n-way combine (e.g. a
+// full hash join of streams at several sites, or a distributed windowed
+// aggregation) whose pairwise order the Query Planner may choose and
+// re-choose at runtime (§4.3, Fig 5).
+type CombineSpec struct {
+	// Inputs are the base-graph operators feeding the combine, in leaf-
+	// index order.
+	Inputs []OpID
+	// Output is the base-graph operator that consumes the combined
+	// stream.
+	Output OpID
+	// Template describes each generated binary combine node; its
+	// Selectivity/sizes apply per node. ID and Name are overwritten.
+	Template Operator
+}
+
+// Variant is one fully expanded logical plan, annotated with the LeafSet
+// covered by each generated combine node so that common sub-plans between
+// variants can be detected.
+type Variant struct {
+	Graph *Graph
+	Tree  *Tree
+	// CombineNodes maps each generated combine operator to its LeafSet.
+	CombineNodes map[OpID]LeafSet
+}
+
+// Expand instantiates the combine tree into a copy of the base graph,
+// wiring spec.Inputs through fresh binary combine operators into
+// spec.Output. The base graph must contain no edge into spec.Output from
+// the combine group (Expand adds it).
+func (spec *CombineSpec) Expand(base *Graph, tree *Tree) (*Variant, error) {
+	if len(spec.Inputs) < 2 {
+		return nil, fmt.Errorf("plan: combine spec needs >= 2 inputs, got %d", len(spec.Inputs))
+	}
+	if tree.Set != LeafSet(1<<uint(len(spec.Inputs)))-1 {
+		return nil, fmt.Errorf("plan: tree covers %v, want all %d inputs", tree.Set, len(spec.Inputs))
+	}
+	g := base.Clone()
+	v := &Variant{Graph: g, Tree: tree, CombineNodes: make(map[OpID]LeafSet)}
+
+	var build func(t *Tree) (OpID, error)
+	build = func(t *Tree) (OpID, error) {
+		if t.IsLeaf() {
+			if t.Leaf < 0 || t.Leaf >= len(spec.Inputs) {
+				return 0, fmt.Errorf("plan: leaf index %d out of range", t.Leaf)
+			}
+			return spec.Inputs[t.Leaf], nil
+		}
+		lid, err := build(t.L)
+		if err != nil {
+			return 0, err
+		}
+		rid, err := build(t.R)
+		if err != nil {
+			return 0, err
+		}
+		node := spec.Template
+		node.Name = fmt.Sprintf("%s%s", spec.Template.Name, t.Set)
+		// A combine node's state covers only its subtree's share of the
+		// keyed aggregation state.
+		node.StateBytes = spec.Template.StateBytes * float64(t.Set.Count()) / float64(len(spec.Inputs))
+		id := g.AddOperator(node)
+		v.CombineNodes[id] = t.Set
+		if err := g.Connect(lid, id); err != nil {
+			return 0, err
+		}
+		if err := g.Connect(rid, id); err != nil {
+			return 0, err
+		}
+		return id, nil
+	}
+
+	root, err := build(tree)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Connect(root, spec.Output); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// StatefulLeafSets returns the LeafSets of the variant's stateful combine
+// nodes — the sub-plans whose state must be preserved by any re-planning.
+func (v *Variant) StatefulLeafSets() []LeafSet {
+	var out []LeafSet
+	for id, set := range v.CombineNodes {
+		if v.Graph.Operator(id).Stateful {
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+// AdmissibleFrom reports whether switching from the current variant to v
+// preserves all stateful combine state: every stateful combine node of cur
+// must appear, with the same LeafSet, in v (§4.3 — "only consider plans
+// that comprise common sub-plans covering the stateful operators").
+func (v *Variant) AdmissibleFrom(cur *Variant) bool {
+	have := make(map[LeafSet]bool, len(v.CombineNodes))
+	for _, set := range v.CombineNodes {
+		have[set] = true
+	}
+	for _, need := range cur.StatefulLeafSets() {
+		if !have[need] {
+			return false
+		}
+	}
+	return true
+}

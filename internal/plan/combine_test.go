@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"testing"
+)
+
+func TestLeafSet(t *testing.T) {
+	s := LeafSet(0b1011)
+	if !s.Has(0) || !s.Has(1) || s.Has(2) || !s.Has(3) {
+		t.Fatalf("Has wrong for %v", s)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	if got := s.String(); got != "{0,1,3}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEnumerateTreesCounts(t *testing.T) {
+	// (2k-3)!! distinct unordered binary trees over k labeled leaves.
+	wants := map[int]int{1: 1, 2: 1, 3: 3, 4: 15, 5: 105}
+	for k, want := range wants {
+		if got := len(EnumerateTrees(k, 0)); got != want {
+			t.Errorf("EnumerateTrees(%d) = %d trees, want %d", k, got, want)
+		}
+	}
+}
+
+func TestEnumerateTreesDistinctAndComplete(t *testing.T) {
+	trees := EnumerateTrees(4, 0)
+	seen := make(map[string]bool)
+	full := LeafSet(0b1111)
+	for _, tr := range trees {
+		if tr.Set != full {
+			t.Fatalf("tree %v covers %v, want %v", tr, tr.Set, full)
+		}
+		// Canonical string: sort children by min leaf for dedup.
+		key := canonical(tr)
+		if seen[key] {
+			t.Fatalf("duplicate tree %v", tr)
+		}
+		seen[key] = true
+	}
+}
+
+func canonical(t *Tree) string {
+	if t.IsLeaf() {
+		return t.String()
+	}
+	l, r := canonical(t.L), canonical(t.R)
+	if t.L.Set > t.R.Set {
+		l, r = r, l
+	}
+	return "(" + l + "+" + r + ")"
+}
+
+func TestEnumerateTreesCap(t *testing.T) {
+	if got := len(EnumerateTrees(5, 10)); got != 10 {
+		t.Fatalf("capped enumeration = %d, want 10", got)
+	}
+}
+
+func TestEnumerateTreesPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnumerateTrees(0) did not panic")
+		}
+	}()
+	EnumerateTrees(0, 0)
+}
+
+func TestLeftDeepAndBalancedTrees(t *testing.T) {
+	ld := LeftDeepTree([]int{0, 1, 2, 3})
+	if got := ld.String(); got != "(((0+1)+2)+3)" {
+		t.Fatalf("LeftDeepTree = %q", got)
+	}
+	b := BalancedTree(4)
+	if got := b.String(); got != "((0+1)+(2+3))" {
+		t.Fatalf("BalancedTree = %q", got)
+	}
+	if b.Set != 0b1111 {
+		t.Fatalf("BalancedTree Set = %v", b.Set)
+	}
+}
+
+// fig5Base builds the base graph of the paper's Figure 5: four sources at
+// sites A..D feeding a full hash join, result consumed by a sink.
+func fig5Base(t *testing.T) (*Graph, *CombineSpec) {
+	t.Helper()
+	g := NewGraph()
+	var inputs []OpID
+	rates := []float64{400, 300, 200, 100} // events/s per source
+	for _, r := range rates {
+		id := g.AddOperator(Operator{
+			Name: "src", Kind: KindSource, PinnedSite: 0,
+			Selectivity: 1, OutEventBytes: 100, SourceRate: r,
+		})
+		inputs = append(inputs, id)
+	}
+	sink := g.AddOperator(Operator{Name: "sink", Kind: KindSink})
+	spec := &CombineSpec{
+		Inputs: inputs,
+		Output: sink,
+		Template: Operator{
+			Name: "join", Kind: KindJoin, Stateful: true, Splittable: true,
+			Selectivity: 0.5, OutEventBytes: 150, CostPerEvent: 2, StateBytes: 50e6,
+		},
+	}
+	return g, spec
+}
+
+func TestExpandBuildsValidGraph(t *testing.T) {
+	base, spec := fig5Base(t)
+	v, err := spec.Expand(base, BalancedTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Graph.Validate(); err != nil {
+		t.Fatalf("expanded graph invalid: %v", err)
+	}
+	// 4 sources + 1 sink + 3 combine nodes.
+	if got := v.Graph.Len(); got != 8 {
+		t.Fatalf("expanded graph Len = %d, want 8", got)
+	}
+	if got := len(v.CombineNodes); got != 3 {
+		t.Fatalf("combine nodes = %d, want 3", got)
+	}
+	// The sink consumes exactly the root combine.
+	sinkUps := v.Graph.Upstream(spec.Output)
+	if len(sinkUps) != 1 {
+		t.Fatalf("sink upstreams = %v", sinkUps)
+	}
+	if v.CombineNodes[sinkUps[0]] != 0b1111 {
+		t.Fatalf("root combine covers %v, want {0,1,2,3}", v.CombineNodes[sinkUps[0]])
+	}
+	// Base graph must be untouched.
+	if base.Len() != 5 {
+		t.Fatalf("base graph mutated: Len = %d", base.Len())
+	}
+}
+
+func TestExpandRejectsBadInput(t *testing.T) {
+	base, spec := fig5Base(t)
+	if _, err := spec.Expand(base, BalancedTree(3)); err == nil {
+		t.Fatal("Expand accepted tree over wrong leaf count")
+	}
+	bad := &CombineSpec{Inputs: spec.Inputs[:1], Output: spec.Output, Template: spec.Template}
+	if _, err := bad.Expand(base, BalancedTree(1)); err == nil {
+		t.Fatal("Expand accepted single-input spec")
+	}
+}
+
+func TestAdmissibleFromStatefulSubplans(t *testing.T) {
+	base, spec := fig5Base(t)
+	// Plan 1 (Fig 5): ((A+B)+(C+D)) — stateful nodes {0,1}, {2,3}, {0,1,2,3}.
+	p1, err := spec.Expand(base, BalancedTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan 2: ((1+2)+(0+3)) does not contain {0,1} or {2,3}.
+	tr := combine(combine(leaf(1), leaf(2)), combine(leaf(0), leaf(3)))
+	p3, err := spec.Expand(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.AdmissibleFrom(p1) {
+		t.Fatal("plan without common stateful sub-plans judged admissible")
+	}
+	// ((C+D)+(A+B)) is the same set structure as plan 1: admissible.
+	tr2 := combine(combine(leaf(2), leaf(3)), combine(leaf(0), leaf(1)))
+	p4, err := spec.Expand(base, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p4.AdmissibleFrom(p1) {
+		t.Fatal("structurally identical plan judged inadmissible")
+	}
+	// With a stateless template every plan is admissible.
+	stateless := *spec
+	stateless.Template.Stateful = false
+	q1, err := stateless.Expand(base, BalancedTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := stateless.Expand(base, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q2.AdmissibleFrom(q1) {
+		t.Fatal("stateless re-plan judged inadmissible")
+	}
+}
+
+func TestStatefulLeafSets(t *testing.T) {
+	base, spec := fig5Base(t)
+	v, err := spec.Expand(base, BalancedTree(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := v.StatefulLeafSets()
+	if len(sets) != 3 {
+		t.Fatalf("stateful leaf sets = %v, want 3 sets", sets)
+	}
+	want := map[LeafSet]bool{0b0011: true, 0b1100: true, 0b1111: true}
+	for _, s := range sets {
+		if !want[s] {
+			t.Fatalf("unexpected leaf set %v", s)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+// Package plan models logical query plans for WASP: directed acyclic
+// graphs of stream operators, plus the logical optimizations the paper's
+// Query Planner applies — environment-independent rewrites such as filter
+// push-down (§2.1) and the enumeration of alternative aggregation/join
+// orders used by query re-planning (§4.3).
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// OpID identifies an operator within a Graph.
+type OpID int
+
+// NoSite marks an operator as not pinned to any particular site.
+const NoSite topology.SiteID = -1
+
+// Kind enumerates the stream operator kinds the engine supports.
+type Kind int
+
+// Operator kinds.
+const (
+	KindSource Kind = iota + 1
+	KindFilter
+	KindMap
+	KindFlatMap
+	KindProject
+	KindUnion
+	KindWindow
+	KindAggregate
+	KindJoin
+	KindTopK
+	KindSink
+)
+
+var kindNames = map[Kind]string{
+	KindSource:    "source",
+	KindFilter:    "filter",
+	KindMap:       "map",
+	KindFlatMap:   "flatmap",
+	KindProject:   "project",
+	KindUnion:     "union",
+	KindWindow:    "window",
+	KindAggregate: "aggregate",
+	KindJoin:      "join",
+	KindTopK:      "topk",
+	KindSink:      "sink",
+}
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Operator is a logical stream operator. The performance-model fields
+// (Selectivity, OutEventBytes, CostPerEvent, StateBytes) drive both the
+// flow-mode emulation and the planner's cost estimates.
+type Operator struct {
+	ID   OpID
+	Name string
+	Kind Kind
+
+	// Stateful marks operators that maintain processing state which must
+	// be preserved across adaptations (§4.3, §5).
+	Stateful bool
+	// Splittable reports whether the operator can run at parallelism > 1
+	// without changing the query plan. Counters and sinks are not
+	// splittable without adding a combiner (§6.2).
+	Splittable bool
+	// CommutesWithFilter marks stateless element-wise operators that a
+	// downstream filter can be pushed above (e.g. a map that preserves
+	// the filtered attributes).
+	CommutesWithFilter bool
+
+	// Selectivity σ is output events per input event (§3.2).
+	Selectivity float64
+	// OutEventBytes is the average serialized size of an output event.
+	OutEventBytes float64
+	// CostPerEvent is the relative compute cost to process one input
+	// event (1.0 = one unit of slot throughput).
+	CostPerEvent float64
+	// StateBytes is the steady-state total state size of the operator
+	// (summed across its tasks).
+	StateBytes float64
+
+	// Window is the window length for KindWindow/KindAggregate/KindTopK
+	// operators with tumbling-window semantics; zero means no windowing.
+	Window time.Duration
+
+	// PinnedSite fixes the operator at one site. Only sources and sinks
+	// may be pinned: sources run where their data is generated, and sinks
+	// run where results are consumed (by default site 0, the Job Manager
+	// site). Intermediate operators are always scheduler-placed; their
+	// PinnedSite is forced to NoSite by AddOperator.
+	PinnedSite topology.SiteID
+	// SourceRate is the base event rate (events/s) for KindSource.
+	SourceRate float64
+}
+
+// Graph is a logical plan: a DAG of operators. The zero value is empty and
+// ready to use via AddOperator/Connect.
+type Graph struct {
+	ops    map[OpID]*Operator
+	down   map[OpID][]OpID
+	up     map[OpID][]OpID
+	nextID OpID
+}
+
+// NewGraph returns an empty logical plan.
+func NewGraph() *Graph {
+	return &Graph{
+		ops:  make(map[OpID]*Operator),
+		down: make(map[OpID][]OpID),
+		up:   make(map[OpID][]OpID),
+	}
+}
+
+// AddOperator inserts op into the graph, assigning and returning its ID.
+// The operator struct is copied; the caller's value is not retained.
+func (g *Graph) AddOperator(op Operator) OpID {
+	id := g.nextID
+	g.nextID++
+	op.ID = id
+	if op.Kind != KindSource && op.Kind != KindSink {
+		op.PinnedSite = NoSite
+	}
+	g.ops[id] = &op
+	return id
+}
+
+// Operator returns the operator with the given ID, or nil.
+func (g *Graph) Operator(id OpID) *Operator { return g.ops[id] }
+
+// Connect adds a dataflow edge from→to. Duplicate edges are rejected.
+func (g *Graph) Connect(from, to OpID) error {
+	if g.ops[from] == nil || g.ops[to] == nil {
+		return fmt.Errorf("plan: connect %d->%d: unknown operator", from, to)
+	}
+	for _, d := range g.down[from] {
+		if d == to {
+			return fmt.Errorf("plan: duplicate edge %d->%d", from, to)
+		}
+	}
+	g.down[from] = append(g.down[from], to)
+	g.up[to] = append(g.up[to], from)
+	return nil
+}
+
+// MustConnect is Connect that panics on error, for plan construction code
+// where the topology is static.
+func (g *Graph) MustConnect(from, to OpID) {
+	if err := g.Connect(from, to); err != nil {
+		panic(err)
+	}
+}
+
+// Downstream returns the IDs of the operators consuming op's output.
+func (g *Graph) Downstream(id OpID) []OpID { return append([]OpID(nil), g.down[id]...) }
+
+// Upstream returns the IDs of the operators feeding op.
+func (g *Graph) Upstream(id OpID) []OpID { return append([]OpID(nil), g.up[id]...) }
+
+// Len returns the number of operators.
+func (g *Graph) Len() int { return len(g.ops) }
+
+// OperatorIDs returns all operator IDs in ascending order.
+func (g *Graph) OperatorIDs() []OpID {
+	ids := make([]OpID, 0, len(g.ops))
+	for id := range g.ops {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Sources returns the IDs of all KindSource operators, ascending.
+func (g *Graph) Sources() []OpID { return g.byKind(KindSource) }
+
+// Sinks returns the IDs of all KindSink operators, ascending.
+func (g *Graph) Sinks() []OpID { return g.byKind(KindSink) }
+
+func (g *Graph) byKind(k Kind) []OpID {
+	var out []OpID
+	for _, id := range g.OperatorIDs() {
+		if g.ops[id].Kind == k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the operators in a deterministic topological order
+// (ties broken by ascending ID). It returns an error if the graph has a
+// cycle.
+func (g *Graph) TopoOrder() ([]OpID, error) {
+	indeg := make(map[OpID]int, len(g.ops))
+	for id := range g.ops {
+		indeg[id] = len(g.up[id])
+	}
+	var ready []OpID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+
+	order := make([]OpID, 0, len(g.ops))
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		var unlocked []OpID
+		for _, d := range g.down[id] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				unlocked = append(unlocked, d)
+			}
+		}
+		sort.Slice(unlocked, func(i, j int) bool { return unlocked[i] < unlocked[j] })
+		ready = append(ready, unlocked...)
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(order) != len(g.ops) {
+		return nil, fmt.Errorf("plan: graph has a cycle (%d of %d ordered)", len(order), len(g.ops))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: acyclic; sources have no inputs
+// and at least one output; sinks have no outputs and at least one input;
+// every other operator has at least one input and one output; sources are
+// pinned to a site; selectivities and sizes are non-negative.
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("plan: empty graph")
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	for _, id := range g.OperatorIDs() {
+		op := g.ops[id]
+		nUp, nDown := len(g.up[id]), len(g.down[id])
+		switch op.Kind {
+		case KindSource:
+			if nUp != 0 {
+				return fmt.Errorf("plan: source %q has inputs", op.Name)
+			}
+			if nDown == 0 {
+				return fmt.Errorf("plan: source %q has no outputs", op.Name)
+			}
+			if op.PinnedSite == NoSite {
+				return fmt.Errorf("plan: source %q not pinned to a site", op.Name)
+			}
+			if op.SourceRate < 0 {
+				return fmt.Errorf("plan: source %q has negative rate", op.Name)
+			}
+		case KindSink:
+			if nDown != 0 {
+				return fmt.Errorf("plan: sink %q has outputs", op.Name)
+			}
+			if nUp == 0 {
+				return fmt.Errorf("plan: sink %q has no inputs", op.Name)
+			}
+		default:
+			if nUp == 0 || nDown == 0 {
+				return fmt.Errorf("plan: operator %q (%v) is dangling", op.Name, op.Kind)
+			}
+		}
+		if op.Selectivity < 0 || op.OutEventBytes < 0 || op.CostPerEvent < 0 || op.StateBytes < 0 {
+			return fmt.Errorf("plan: operator %q has negative model parameters", op.Name)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph. Operator IDs are preserved.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.nextID = g.nextID
+	for id, op := range g.ops {
+		cp := *op
+		c.ops[id] = &cp
+	}
+	for id, ds := range g.down {
+		c.down[id] = append([]OpID(nil), ds...)
+	}
+	for id, us := range g.up {
+		c.up[id] = append([]OpID(nil), us...)
+	}
+	return c
+}
+
+// RemoveEdge deletes the from→to edge if present.
+func (g *Graph) RemoveEdge(from, to OpID) {
+	g.down[from] = removeID(g.down[from], to)
+	g.up[to] = removeID(g.up[to], from)
+}
+
+// RemoveOperator deletes an operator and all its edges.
+func (g *Graph) RemoveOperator(id OpID) {
+	for _, d := range append([]OpID(nil), g.down[id]...) {
+		g.RemoveEdge(id, d)
+	}
+	for _, u := range append([]OpID(nil), g.up[id]...) {
+		g.RemoveEdge(u, id)
+	}
+	delete(g.ops, id)
+	delete(g.down, id)
+	delete(g.up, id)
+}
+
+func removeID(ids []OpID, id OpID) []OpID {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// StatefulOperators returns the IDs of all stateful operators, ascending.
+func (g *Graph) StatefulOperators() []OpID {
+	var out []OpID
+	for _, id := range g.OperatorIDs() {
+		if g.ops[id].Stateful {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ExpectedRates computes the steady-state expected input/output event rate
+// and output byte rate of every operator from the source rates and
+// per-operator selectivities — the λ̂ model of §3.3 applied to the logical
+// plan. rateFactor scales all source rates (workload dynamics).
+func (g *Graph) ExpectedRates(rateFactor float64) (inRate, outRate, outBytes map[OpID]float64, err error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inRate = make(map[OpID]float64, len(order))
+	outRate = make(map[OpID]float64, len(order))
+	outBytes = make(map[OpID]float64, len(order))
+	for _, id := range order {
+		op := g.ops[id]
+		var in float64
+		if op.Kind == KindSource {
+			in = op.SourceRate * rateFactor
+		} else {
+			for _, u := range g.up[id] {
+				in += outRate[u]
+			}
+		}
+		inRate[id] = in
+		sigma := op.Selectivity
+		if op.Kind == KindSource {
+			sigma = 1
+		}
+		outRate[id] = in * sigma
+		outBytes[id] = outRate[id] * op.OutEventBytes
+	}
+	return inRate, outRate, outBytes, nil
+}

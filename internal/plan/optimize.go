@@ -1,0 +1,97 @@
+package plan
+
+// Logical, environment-independent optimizations (§4.3): these mirror
+// classical RDBMS rewrites and are applied before plan/placement costing.
+
+// PushDownFilters rewrites the graph in place, moving filters upstream to
+// reduce data rates early:
+//
+//   - a filter consuming a union is replicated below the union (one copy
+//     per union input), and
+//   - a filter consuming a single stateless operator that commutes with
+//     filtering (Operator.CommutesWithFilter) swaps with it.
+//
+// The rewrite repeats until it reaches a fixpoint. It returns the number of
+// rewrites applied.
+func PushDownFilters(g *Graph) int {
+	total := 0
+	for {
+		n := pushDownOnce(g)
+		if n == 0 {
+			return total
+		}
+		total += n
+	}
+}
+
+func pushDownOnce(g *Graph) int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0 // invalid graphs are left untouched; Validate reports them
+	}
+	for _, id := range order {
+		op := g.Operator(id)
+		if op == nil || op.Kind != KindFilter {
+			continue
+		}
+		ups := g.Upstream(id)
+		if len(ups) != 1 {
+			continue
+		}
+		up := g.Operator(ups[0])
+		switch {
+		case up.Kind == KindUnion && len(g.Downstream(up.ID)) == 1:
+			rewriteFilterBelowUnion(g, id, up.ID)
+			return 1
+		case up.Kind != KindSource && len(g.Downstream(up.ID)) == 1 &&
+			len(g.Upstream(up.ID)) == 1 && up.CommutesWithFilter:
+			swapFilterWithUpstream(g, id, up.ID)
+			return 1
+		}
+	}
+	return 0
+}
+
+// rewriteFilterBelowUnion replaces union→filter with per-input filters:
+// each union input gets its own copy of the filter, and the union feeds
+// the filter's former downstream directly.
+func rewriteFilterBelowUnion(g *Graph, filterID, unionID OpID) {
+	filter := *g.Operator(filterID)
+	downs := g.Downstream(filterID)
+	inputs := g.Upstream(unionID)
+
+	// Detach the filter entirely.
+	g.RemoveOperator(filterID)
+
+	// Union now feeds the filter's former consumers.
+	for _, d := range downs {
+		g.MustConnect(unionID, d)
+	}
+	// Insert one filter copy on each union input.
+	for _, in := range inputs {
+		g.RemoveEdge(in, unionID)
+		cp := filter
+		cpID := g.AddOperator(cp)
+		g.MustConnect(in, cpID)
+		g.MustConnect(cpID, unionID)
+	}
+}
+
+// swapFilterWithUpstream exchanges up→filter into filter→up when the
+// upstream operator commutes with filtering.
+func swapFilterWithUpstream(g *Graph, filterID, upID OpID) {
+	grandUps := g.Upstream(upID) // exactly one, checked by caller
+	downs := g.Downstream(filterID)
+
+	g.RemoveEdge(grandUps[0], upID)
+	g.RemoveEdge(upID, filterID)
+	for _, d := range downs {
+		g.RemoveEdge(filterID, d)
+	}
+
+	g.MustConnect(grandUps[0], filterID)
+	g.MustConnect(filterID, upID)
+	for _, d := range downs {
+		g.MustConnect(upID, d)
+	}
+}

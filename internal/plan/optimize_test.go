@@ -1,0 +1,141 @@
+package plan
+
+import "testing"
+
+func TestPushFilterBelowUnion(t *testing.T) {
+	g := NewGraph()
+	s1 := g.AddOperator(Operator{Name: "s1", Kind: KindSource, PinnedSite: 0, Selectivity: 1, SourceRate: 100})
+	s2 := g.AddOperator(Operator{Name: "s2", Kind: KindSource, PinnedSite: 1, Selectivity: 1, SourceRate: 100})
+	un := g.AddOperator(Operator{Name: "union", Kind: KindUnion, Selectivity: 1, Splittable: true})
+	fil := g.AddOperator(Operator{Name: "filter", Kind: KindFilter, Selectivity: 0.2, Splittable: true})
+	snk := g.AddOperator(Operator{Name: "sink", Kind: KindSink})
+	g.MustConnect(s1, un)
+	g.MustConnect(s2, un)
+	g.MustConnect(un, fil)
+	g.MustConnect(fil, snk)
+
+	if n := PushDownFilters(g); n != 1 {
+		t.Fatalf("rewrites = %d, want 1", n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("rewritten graph invalid: %v", err)
+	}
+	// union now feeds the sink directly; each source feeds a filter copy.
+	if ds := g.Downstream(un); len(ds) != 1 || ds[0] != snk {
+		t.Fatalf("union downstream = %v, want [sink]", ds)
+	}
+	for _, s := range []OpID{s1, s2} {
+		ds := g.Downstream(s)
+		if len(ds) != 1 {
+			t.Fatalf("source downstream = %v", ds)
+		}
+		f := g.Operator(ds[0])
+		if f.Kind != KindFilter || f.Selectivity != 0.2 {
+			t.Fatalf("source feeds %v (%v), want filter copy", f.Name, f.Kind)
+		}
+		if fd := g.Downstream(ds[0]); len(fd) != 1 || fd[0] != un {
+			t.Fatalf("filter copy downstream = %v, want [union]", fd)
+		}
+	}
+	// Total rates are preserved: 200 in, 40 out at the union.
+	_, out, _, err := g.ExpectedRates(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[un] != 40 {
+		t.Fatalf("union out rate = %v, want 40", out[un])
+	}
+}
+
+func TestPushFilterThroughCommutingMap(t *testing.T) {
+	g := NewGraph()
+	src := g.AddOperator(Operator{Name: "s", Kind: KindSource, PinnedSite: 0, Selectivity: 1, SourceRate: 100})
+	mp := g.AddOperator(Operator{Name: "m", Kind: KindMap, Selectivity: 1, CommutesWithFilter: true, Splittable: true})
+	fil := g.AddOperator(Operator{Name: "f", Kind: KindFilter, Selectivity: 0.5, Splittable: true})
+	snk := g.AddOperator(Operator{Name: "k", Kind: KindSink})
+	g.MustConnect(src, mp)
+	g.MustConnect(mp, fil)
+	g.MustConnect(fil, snk)
+
+	if n := PushDownFilters(g); n != 1 {
+		t.Fatalf("rewrites = %d, want 1", n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("rewritten graph invalid: %v", err)
+	}
+	if ds := g.Downstream(src); len(ds) != 1 || ds[0] != fil {
+		t.Fatalf("source downstream = %v, want [filter]", ds)
+	}
+	if ds := g.Downstream(fil); len(ds) != 1 || ds[0] != mp {
+		t.Fatalf("filter downstream = %v, want [map]", ds)
+	}
+	if ds := g.Downstream(mp); len(ds) != 1 || ds[0] != snk {
+		t.Fatalf("map downstream = %v, want [sink]", ds)
+	}
+}
+
+func TestPushDownDoesNotCrossNonCommutingOps(t *testing.T) {
+	g := NewGraph()
+	src := g.AddOperator(Operator{Name: "s", Kind: KindSource, PinnedSite: 0, Selectivity: 1, SourceRate: 100})
+	mp := g.AddOperator(Operator{Name: "m", Kind: KindMap, Selectivity: 1}) // does not commute
+	fil := g.AddOperator(Operator{Name: "f", Kind: KindFilter, Selectivity: 0.5})
+	snk := g.AddOperator(Operator{Name: "k", Kind: KindSink})
+	g.MustConnect(src, mp)
+	g.MustConnect(mp, fil)
+	g.MustConnect(fil, snk)
+
+	if n := PushDownFilters(g); n != 0 {
+		t.Fatalf("rewrites = %d, want 0", n)
+	}
+}
+
+func TestPushDownLeavesSharedUnionAlone(t *testing.T) {
+	// union feeds both a filter and another sink: replicating the filter
+	// below the union would change the other consumer's input.
+	g := NewGraph()
+	s1 := g.AddOperator(Operator{Name: "s1", Kind: KindSource, PinnedSite: 0, Selectivity: 1, SourceRate: 100})
+	un := g.AddOperator(Operator{Name: "u", Kind: KindUnion, Selectivity: 1})
+	fil := g.AddOperator(Operator{Name: "f", Kind: KindFilter, Selectivity: 0.5})
+	k1 := g.AddOperator(Operator{Name: "k1", Kind: KindSink})
+	k2 := g.AddOperator(Operator{Name: "k2", Kind: KindSink})
+	g.MustConnect(s1, un)
+	g.MustConnect(un, fil)
+	g.MustConnect(un, k2)
+	g.MustConnect(fil, k1)
+
+	if n := PushDownFilters(g); n != 0 {
+		t.Fatalf("rewrites = %d, want 0", n)
+	}
+}
+
+func TestPushDownChainsToFixpoint(t *testing.T) {
+	// source → map(commuting) → union? Build: two sources → union →
+	// map(commuting) → filter → sink. The filter first swaps with the map,
+	// then replicates below the union: 2 rewrites.
+	g := NewGraph()
+	s1 := g.AddOperator(Operator{Name: "s1", Kind: KindSource, PinnedSite: 0, Selectivity: 1, SourceRate: 100})
+	s2 := g.AddOperator(Operator{Name: "s2", Kind: KindSource, PinnedSite: 1, Selectivity: 1, SourceRate: 100})
+	un := g.AddOperator(Operator{Name: "u", Kind: KindUnion, Selectivity: 1})
+	mp := g.AddOperator(Operator{Name: "m", Kind: KindMap, Selectivity: 1, CommutesWithFilter: true})
+	fil := g.AddOperator(Operator{Name: "f", Kind: KindFilter, Selectivity: 0.5})
+	snk := g.AddOperator(Operator{Name: "k", Kind: KindSink})
+	g.MustConnect(s1, un)
+	g.MustConnect(s2, un)
+	g.MustConnect(un, mp)
+	g.MustConnect(mp, fil)
+	g.MustConnect(fil, snk)
+
+	if n := PushDownFilters(g); n != 2 {
+		t.Fatalf("rewrites = %d, want 2", n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("rewritten graph invalid: %v", err)
+	}
+	// Each source must now feed a filter.
+	for _, s := range []OpID{s1, s2} {
+		ds := g.Downstream(s)
+		if len(ds) != 1 || g.Operator(ds[0]).Kind != KindFilter {
+			t.Fatalf("source %d downstream = %v, want filter", s, ds)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package state
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Target is one stateful task the coordinator checkpoints.
+type Target struct {
+	Job      string
+	Operator string
+	Task     int
+	// Site is where the task currently runs; snapshots are stored there
+	// (localized checkpointing, §5).
+	Site topology.SiteID
+	// Snapshot captures the task's current state.
+	Snapshot func() ([]byte, error)
+}
+
+// Coordinator periodically snapshots registered targets into a Store on
+// the virtual clock — WASP's Checkpoint Coordinator. Targets can be
+// re-registered when tasks move between sites. The zero value is not
+// usable; use NewCoordinator. Not safe for concurrent use (the simulation
+// is single-threaded).
+type Coordinator struct {
+	store    *Store
+	interval time.Duration
+	targets  map[string]*Target
+	epoch    int64
+	ticker   *vclock.Event
+	onError  func(error)
+}
+
+// NewCoordinator creates a coordinator checkpointing every interval on the
+// given scheduler. onError observes snapshot failures (nil means they are
+// silently skipped for that round).
+func NewCoordinator(sched *vclock.Scheduler, store *Store, interval time.Duration, onError func(error)) *Coordinator {
+	if interval <= 0 {
+		panic("state: non-positive checkpoint interval")
+	}
+	c := &Coordinator{
+		store:    store,
+		interval: interval,
+		targets:  make(map[string]*Target),
+		onError:  onError,
+	}
+	c.ticker = sched.Every(interval, func(vclock.Time) { c.Checkpoint() })
+	return c
+}
+
+// Register adds (or replaces, keyed by job/operator/task) a checkpoint
+// target.
+func (c *Coordinator) Register(t Target) {
+	key := Ref{Job: t.Job, Operator: t.Operator, Task: t.Task}.taskKey()
+	cp := t
+	c.targets[key] = &cp
+}
+
+// Unregister removes a target; its existing checkpoints remain stored.
+func (c *Coordinator) Unregister(job, operator string, task int) {
+	delete(c.targets, Ref{Job: job, Operator: operator, Task: task}.taskKey())
+}
+
+// Targets returns the number of registered targets.
+func (c *Coordinator) Targets() int { return len(c.targets) }
+
+// Epoch returns the last completed checkpoint round.
+func (c *Coordinator) Epoch() int64 { return c.epoch }
+
+// Checkpoint runs one checkpoint round immediately, snapshotting every
+// registered target into the store at its current site.
+func (c *Coordinator) Checkpoint() {
+	c.epoch++
+	for key, t := range c.targets {
+		data, err := t.Snapshot()
+		if err != nil {
+			if c.onError != nil {
+				c.onError(fmt.Errorf("checkpoint %s epoch %d: %w", key, c.epoch, err))
+			}
+			continue
+		}
+		ref := Ref{Job: t.Job, Operator: t.Operator, Task: t.Task, Epoch: c.epoch, Site: t.Site}
+		if err := c.store.Put(ref, data); err != nil && c.onError != nil {
+			c.onError(err)
+		}
+	}
+}
+
+// Stop cancels the periodic checkpointing.
+func (c *Coordinator) Stop() { c.ticker.Cancel() }

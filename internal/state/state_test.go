@@ -1,0 +1,234 @@
+package state
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+func TestStorePutLatest(t *testing.T) {
+	s := NewStore()
+	if _, _, ok := s.Latest("j", "op", 0); ok {
+		t.Fatal("empty store returned a snapshot")
+	}
+	if err := s.Put(Ref{Job: "j", Operator: "op", Task: 0, Epoch: 1, Site: 2}, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Ref{Job: "j", Operator: "op", Task: 0, Epoch: 2, Site: 2}, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	ref, data, ok := s.Latest("j", "op", 0)
+	if !ok || string(data) != "v2" || ref.Epoch != 2 {
+		t.Fatalf("Latest = (%+v, %q, %v)", ref, data, ok)
+	}
+	if ref.Size != 2 {
+		t.Fatalf("Size = %d, want 2", ref.Size)
+	}
+}
+
+func TestStoreEpochMonotonic(t *testing.T) {
+	s := NewStore()
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5}, nil); err == nil {
+		t.Fatal("duplicate epoch accepted")
+	}
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 4}, nil); err == nil {
+		t.Fatal("regressing epoch accepted")
+	}
+}
+
+func TestStoreLatestAtSite(t *testing.T) {
+	s := NewStore()
+	mustPut := func(epoch int64, site int, v string) {
+		t.Helper()
+		if err := s.Put(Ref{Job: "j", Operator: "op", Task: 1, Epoch: epoch, Site: topoSite(site)}, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(1, 0, "at0")
+	mustPut(2, 1, "at1")
+	mustPut(3, 1, "at1b")
+
+	ref, data, ok := s.LatestAt("j", "op", 1, 0)
+	if !ok || string(data) != "at0" || ref.Epoch != 1 {
+		t.Fatalf("LatestAt(0) = (%+v, %q, %v)", ref, data, ok)
+	}
+	ref, data, ok = s.LatestAt("j", "op", 1, 1)
+	if !ok || string(data) != "at1b" || ref.Epoch != 3 {
+		t.Fatalf("LatestAt(1) = (%+v, %q, %v)", ref, data, ok)
+	}
+	if _, _, ok := s.LatestAt("j", "op", 1, 7); ok {
+		t.Fatal("LatestAt for unused site returned data")
+	}
+}
+
+func TestStorePrune(t *testing.T) {
+	s := NewStore()
+	for e := int64(1); e <= 5; e++ {
+		if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: e}, []byte{byte(e)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Prune("j", "op", 0, 4)
+	refs := s.Refs()
+	if len(refs) != 2 || refs[0].Epoch != 4 || refs[1].Epoch != 5 {
+		t.Fatalf("after prune refs = %v", refs)
+	}
+	s.Prune("j", "op", 0, 100)
+	if len(s.Refs()) != 0 {
+		t.Fatal("prune-all left snapshots")
+	}
+}
+
+func TestStoreBytesAt(t *testing.T) {
+	s := NewStore()
+	_ = s.Put(Ref{Job: "j", Operator: "a", Epoch: 1, Site: 0}, make([]byte, 10))
+	_ = s.Put(Ref{Job: "j", Operator: "b", Epoch: 1, Site: 0}, make([]byte, 5))
+	_ = s.Put(Ref{Job: "j", Operator: "c", Epoch: 1, Site: 1}, make([]byte, 7))
+	if got := s.BytesAt(0); got != 15 {
+		t.Fatalf("BytesAt(0) = %d, want 15", got)
+	}
+	if got := s.BytesAt(1); got != 7 {
+		t.Fatalf("BytesAt(1) = %d, want 7", got)
+	}
+}
+
+func TestStoreCopiesData(t *testing.T) {
+	s := NewStore()
+	data := []byte("orig")
+	_ = s.Put(Ref{Job: "j", Operator: "op", Epoch: 1}, data)
+	data[0] = 'X'
+	_, got, _ := s.Latest("j", "op", 0)
+	if string(got) != "orig" {
+		t.Fatal("store aliased caller data")
+	}
+	got[0] = 'Y'
+	_, got2, _ := s.Latest("j", "op", 0)
+	if string(got2) != "orig" {
+		t.Fatal("store leaked internal data")
+	}
+}
+
+func TestCoordinatorPeriodicCheckpoints(t *testing.T) {
+	sched := vclock.NewScheduler(nil)
+	store := NewStore()
+	c := NewCoordinator(sched, store, 30*time.Second, nil)
+	val := []byte("s0")
+	c.Register(Target{
+		Job: "q", Operator: "agg", Task: 0, Site: 3,
+		Snapshot: func() ([]byte, error) { return val, nil },
+	})
+	if err := sched.RunUntil(65 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("Epoch = %d, want 2", got)
+	}
+	ref, data, ok := store.Latest("q", "agg", 0)
+	if !ok || string(data) != "s0" || ref.Site != 3 {
+		t.Fatalf("Latest = (%+v, %q, %v)", ref, data, ok)
+	}
+	c.Stop()
+	if err := sched.RunUntil(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 2 {
+		t.Fatalf("checkpoints continued after Stop: epoch %d", got)
+	}
+}
+
+func TestCoordinatorErrorHandling(t *testing.T) {
+	sched := vclock.NewScheduler(nil)
+	store := NewStore()
+	var errs []error
+	c := NewCoordinator(sched, store, time.Second, func(err error) { errs = append(errs, err) })
+	c.Register(Target{
+		Job: "q", Operator: "bad", Task: 0,
+		Snapshot: func() ([]byte, error) { return nil, errors.New("boom") },
+	})
+	c.Checkpoint()
+	if len(errs) != 1 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if _, _, ok := store.Latest("q", "bad", 0); ok {
+		t.Fatal("failed snapshot was stored")
+	}
+	c.Stop()
+}
+
+func TestCoordinatorReRegisterMovesSite(t *testing.T) {
+	sched := vclock.NewScheduler(nil)
+	store := NewStore()
+	c := NewCoordinator(sched, store, time.Second, nil)
+	mk := func(site int) Target {
+		return Target{
+			Job: "q", Operator: "op", Task: 0, Site: topoSite(site),
+			Snapshot: func() ([]byte, error) { return []byte("x"), nil },
+		}
+	}
+	c.Register(mk(0))
+	c.Checkpoint()
+	c.Register(mk(5)) // task migrated
+	c.Checkpoint()
+	if c.Targets() != 1 {
+		t.Fatalf("Targets = %d, want 1 (re-register replaces)", c.Targets())
+	}
+	ref, _, _ := store.Latest("q", "op", 0)
+	if ref.Site != 5 {
+		t.Fatalf("latest site = %v, want 5", ref.Site)
+	}
+	c.Stop()
+}
+
+func TestCoordinatorUnregister(t *testing.T) {
+	sched := vclock.NewScheduler(nil)
+	c := NewCoordinator(sched, NewStore(), time.Second, nil)
+	c.Register(Target{Job: "q", Operator: "op", Task: 0, Snapshot: func() ([]byte, error) { return nil, nil }})
+	c.Unregister("q", "op", 0)
+	if c.Targets() != 0 {
+		t.Fatalf("Targets = %d after Unregister", c.Targets())
+	}
+	c.Stop()
+}
+
+func TestPartitionKeyProperties(t *testing.T) {
+	if PartitionKey("anything", 1) != 0 {
+		t.Fatal("single-partition key not 0")
+	}
+	if PartitionKey("anything", 0) != 0 {
+		t.Fatal("degenerate partition count not 0")
+	}
+	err := quick.Check(func(key string, n uint8) bool {
+		parts := int(n%16) + 2
+		p := PartitionKey(key, parts)
+		if p < 0 || p >= parts {
+			return false
+		}
+		// Deterministic.
+		return PartitionKey(key, parts) == p
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionKeySpreads(t *testing.T) {
+	counts := make([]int, 4)
+	for i := 0; i < 1000; i++ {
+		counts[PartitionKey(string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune(i)), 4)]++
+	}
+	for p, c := range counts {
+		if c < 100 {
+			t.Fatalf("partition %d got %d of 1000 keys — badly skewed", p, c)
+		}
+	}
+}
+
+// topoSite converts an int to a topology.SiteID for test brevity.
+func topoSite(i int) topology.SiteID { return topology.SiteID(i) }

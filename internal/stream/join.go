@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// WindowJoin is a keyed tumbling-window symmetric hash join over two
+// inputs (ports 0 and 1). Each arriving event immediately joins against
+// the buffered opposite side of the same (window, key) and is then
+// buffered itself; buffers are evicted when the watermark passes the
+// window end.
+//
+// Emitted events carry Time = max of the two joined events' times.
+// WindowJoin is stateful and implements Snapshotter; event Values must be
+// gob-registered.
+type WindowJoin struct {
+	// Size is the tumbling window length (must be > 0).
+	Size time.Duration
+	// Merge combines a left (port 0) and right (port 1) event into the
+	// output value. If nil, the output value is the pair [2]any{l, r}.
+	Merge func(l, r Event) any
+
+	windows map[vclock.Time]*joinWindow
+}
+
+var (
+	_ Handler     = (*WindowJoin)(nil)
+	_ Snapshotter = (*WindowJoin)(nil)
+)
+
+type joinWindow struct {
+	// Sides buffers events per key per side.
+	Sides [2]map[string][]Event
+}
+
+func newJoinWindow() *joinWindow {
+	return &joinWindow{Sides: [2]map[string][]Event{
+		make(map[string][]Event),
+		make(map[string][]Event),
+	}}
+}
+
+// OnEvent implements Handler.
+func (j *WindowJoin) OnEvent(port int, e Event, emit Emit) {
+	if port != 0 && port != 1 {
+		panic(fmt.Sprintf("stream: WindowJoin received port %d", port))
+	}
+	if j.windows == nil {
+		j.windows = make(map[vclock.Time]*joinWindow)
+	}
+	start := windowStart(e.Time, j.Size)
+	w := j.windows[start]
+	if w == nil {
+		w = newJoinWindow()
+		j.windows[start] = w
+	}
+	other := 1 - port
+	for _, o := range w.Sides[other][e.Key] {
+		l, r := e, o
+		if port == 1 {
+			l, r = o, e
+		}
+		t := l.Time
+		if r.Time > t {
+			t = r.Time
+		}
+		var v any
+		if j.Merge != nil {
+			v = j.Merge(l, r)
+		} else {
+			v = [2]any{l.Value, r.Value}
+		}
+		emit(Event{Time: t, Key: e.Key, Value: v})
+	}
+	w.Sides[port][e.Key] = append(w.Sides[port][e.Key], e)
+}
+
+// OnWatermark implements Handler: expired window buffers are dropped.
+func (j *WindowJoin) OnWatermark(wm vclock.Time, _ Emit) {
+	var due []vclock.Time
+	for start := range j.windows {
+		if start+vclock.Time(j.Size) <= wm {
+			due = append(due, start)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		delete(j.windows, start)
+	}
+}
+
+// StateSize returns the number of buffered events across live windows.
+func (j *WindowJoin) StateSize() int {
+	total := 0
+	for _, w := range j.windows {
+		for side := range w.Sides {
+			for _, evs := range w.Sides[side] {
+				total += len(evs)
+			}
+		}
+	}
+	return total
+}
+
+// SnapshotState implements Snapshotter.
+func (j *WindowJoin) SnapshotState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(j.windows); err != nil {
+		return nil, fmt.Errorf("join snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements Snapshotter.
+func (j *WindowJoin) RestoreState(data []byte) error {
+	var windows map[vclock.Time]*joinWindow
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&windows); err != nil {
+		return fmt.Errorf("join restore: %w", err)
+	}
+	if windows == nil {
+		windows = make(map[vclock.Time]*joinWindow)
+	}
+	j.windows = windows
+	return nil
+}

@@ -1,0 +1,275 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// NodeID identifies a node within a Pipeline.
+type NodeID int
+
+// MaxWatermark flushes every window when injected (end of stream).
+const MaxWatermark = vclock.Time(math.MaxInt64)
+
+type nodeKind int
+
+const (
+	nodeSource nodeKind = iota + 1
+	nodeOperator
+	nodeSink
+)
+
+type edge struct {
+	to   NodeID
+	port int
+}
+
+type pipelineNode struct {
+	id      NodeID
+	name    string
+	kind    nodeKind
+	handler Handler
+	edges   []edge
+	// collected holds sink output.
+	collected []Event
+}
+
+// Pipeline is a single-process DAG of stream operators with deterministic
+// execution: events are delivered depth-first in injection order and
+// watermarks propagate in topological order, so runs are exactly
+// repeatable. Pipeline is not safe for concurrent use.
+type Pipeline struct {
+	nodes []*pipelineNode
+	topo  []NodeID // cached topological order, invalidated on mutation
+	wm    vclock.Time
+}
+
+// NewPipeline returns an empty pipeline.
+func NewPipeline() *Pipeline { return &Pipeline{} }
+
+// AddSource declares an event entry point.
+func (p *Pipeline) AddSource(name string) NodeID { return p.add(name, nodeSource, nil) }
+
+// AddNode adds an operator node.
+func (p *Pipeline) AddNode(name string, h Handler) NodeID {
+	if h == nil {
+		panic("stream: AddNode with nil handler")
+	}
+	return p.add(name, nodeOperator, h)
+}
+
+// AddSink adds a terminal node that collects its input events.
+func (p *Pipeline) AddSink(name string) NodeID { return p.add(name, nodeSink, nil) }
+
+func (p *Pipeline) add(name string, kind nodeKind, h Handler) NodeID {
+	id := NodeID(len(p.nodes))
+	p.nodes = append(p.nodes, &pipelineNode{id: id, name: name, kind: kind, handler: h})
+	p.topo = nil
+	return id
+}
+
+// Connect wires from→to delivering into the given input port of `to`
+// (port 0 for single-input operators; joins use ports 0 and 1).
+func (p *Pipeline) Connect(from, to NodeID, port int) error {
+	if int(from) >= len(p.nodes) || int(to) >= len(p.nodes) || from < 0 || to < 0 {
+		return fmt.Errorf("stream: connect %d->%d: unknown node", from, to)
+	}
+	if p.nodes[to].kind == nodeSource {
+		return fmt.Errorf("stream: node %q is a source and cannot receive input", p.nodes[to].name)
+	}
+	if p.nodes[from].kind == nodeSink {
+		return fmt.Errorf("stream: node %q is a sink and cannot produce output", p.nodes[from].name)
+	}
+	p.nodes[from].edges = append(p.nodes[from].edges, edge{to: to, port: port})
+	p.topo = nil
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (p *Pipeline) MustConnect(from, to NodeID, port int) {
+	if err := p.Connect(from, to, port); err != nil {
+		panic(err)
+	}
+}
+
+// Handler returns the operator handler at the given node (nil for sources
+// and sinks) — used for state snapshot/restore.
+func (p *Pipeline) Handler(id NodeID) Handler { return p.nodes[id].handler }
+
+// Inject delivers one event into a source node, flowing it through the
+// whole DAG depth-first.
+func (p *Pipeline) Inject(src NodeID, e Event) error {
+	n := p.nodes[src]
+	if n.kind != nodeSource {
+		return fmt.Errorf("stream: node %q is not a source", n.name)
+	}
+	p.forward(n, e)
+	return nil
+}
+
+func (p *Pipeline) forward(n *pipelineNode, e Event) {
+	for _, ed := range n.edges {
+		p.deliver(ed.to, ed.port, e)
+	}
+}
+
+func (p *Pipeline) deliver(id NodeID, port int, e Event) {
+	n := p.nodes[id]
+	switch n.kind {
+	case nodeSink:
+		n.collected = append(n.collected, e)
+	case nodeOperator:
+		n.handler.OnEvent(port, e, func(out Event) { p.forward(n, out) })
+	case nodeSource:
+		panic("stream: event delivered to a source")
+	}
+}
+
+// Watermark advances the event-time watermark, flushing windows. The
+// watermark must not regress.
+func (p *Pipeline) Watermark(wm vclock.Time) error {
+	if wm < p.wm {
+		return fmt.Errorf("stream: watermark regressed from %v to %v", p.wm, wm)
+	}
+	p.wm = wm
+	order, err := p.topoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		n := p.nodes[id]
+		if n.kind != nodeOperator {
+			continue
+		}
+		n.handler.OnWatermark(wm, func(out Event) { p.forward(n, out) })
+	}
+	return nil
+}
+
+func (p *Pipeline) topoOrder() ([]NodeID, error) {
+	if p.topo != nil {
+		return p.topo, nil
+	}
+	indeg := make([]int, len(p.nodes))
+	for _, n := range p.nodes {
+		for _, e := range n.edges {
+			indeg[e.to]++
+		}
+	}
+	var ready []NodeID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, NodeID(id))
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	var order []NodeID
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		var next []NodeID
+		for _, e := range p.nodes[id].edges {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				next = append(next, e.to)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		ready = append(ready, next...)
+		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+	}
+	if len(order) != len(p.nodes) {
+		return nil, fmt.Errorf("stream: pipeline has a cycle")
+	}
+	p.topo = order
+	return order, nil
+}
+
+// SinkEvents returns the events collected at a sink so far.
+func (p *Pipeline) SinkEvents(id NodeID) []Event {
+	n := p.nodes[id]
+	out := make([]Event, len(n.collected))
+	copy(out, n.collected)
+	return out
+}
+
+// Inputs maps source nodes to their (event-time-ordered) input streams.
+type Inputs map[NodeID][]Event
+
+// RunConfig controls Run.
+type RunConfig struct {
+	// WatermarkEvery injects a watermark each time event time crosses a
+	// multiple of this interval. Zero disables periodic watermarks (a
+	// final MaxWatermark is always injected).
+	WatermarkEvery time.Duration
+}
+
+// Run merges the input streams in event-time order (ties broken by source
+// ID), flows every event through the DAG with periodic watermarks, and
+// finishes with a MaxWatermark flushing all windows.
+func (p *Pipeline) Run(inputs Inputs, cfg RunConfig) error {
+	if _, err := p.topoOrder(); err != nil {
+		return err
+	}
+	type cursor struct {
+		src NodeID
+		idx int
+	}
+	var srcs []NodeID
+	for src, evs := range inputs {
+		if p.nodes[src].kind != nodeSource {
+			return fmt.Errorf("stream: input for non-source node %q", p.nodes[src].name)
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				return fmt.Errorf("stream: input for %q not time-ordered at %d", p.nodes[src].name, i)
+			}
+		}
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+
+	cursors := make([]cursor, len(srcs))
+	for i, s := range srcs {
+		cursors[i] = cursor{src: s}
+	}
+
+	nextWM := vclock.Time(0)
+	if cfg.WatermarkEvery > 0 {
+		nextWM = vclock.Time(cfg.WatermarkEvery)
+	}
+	for {
+		// Pick the earliest pending event across sources.
+		best := -1
+		for i, c := range cursors {
+			evs := inputs[c.src]
+			if c.idx >= len(evs) {
+				continue
+			}
+			if best == -1 || evs[c.idx].Time < inputs[cursors[best].src][cursors[best].idx].Time {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := &cursors[best]
+		e := inputs[c.src][c.idx]
+		c.idx++
+		for cfg.WatermarkEvery > 0 && e.Time >= nextWM {
+			if err := p.Watermark(nextWM); err != nil {
+				return err
+			}
+			nextWM += vclock.Time(cfg.WatermarkEvery)
+		}
+		if err := p.Inject(c.src, e); err != nil {
+			return err
+		}
+	}
+	return p.Watermark(MaxWatermark)
+}

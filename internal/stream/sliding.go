@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// SlidingWindowAggregate is a keyed sliding-window incremental
+// aggregation: windows of length Size start every Slide, so each event
+// contributes to ⌈Size/Slide⌉ overlapping windows; a window emits when
+// the watermark passes its end.
+//
+// Slide must evenly divide Size (aligned windows, as in Flink's sliding
+// event-time windows). Emitted events carry the window's maximum observed
+// event time, like WindowAggregate. Stateful; implements Snapshotter.
+type SlidingWindowAggregate struct {
+	// Size is the window length; Slide the start interval (0 < Slide ≤
+	// Size, Size%Slide == 0).
+	Size  time.Duration
+	Slide time.Duration
+	// Init, Add, Result as in WindowAggregate.
+	Init   func() any
+	Add    func(acc any, e Event) any
+	Result func(key string, acc any) any
+
+	windows map[vclock.Time]*windowState
+}
+
+var (
+	_ Handler     = (*SlidingWindowAggregate)(nil)
+	_ Snapshotter = (*SlidingWindowAggregate)(nil)
+)
+
+func (w *SlidingWindowAggregate) validate() {
+	if w.Slide <= 0 || w.Size <= 0 || w.Slide > w.Size || w.Size%w.Slide != 0 {
+		panic(fmt.Sprintf("stream: invalid sliding window size=%v slide=%v", w.Size, w.Slide))
+	}
+}
+
+// windowStarts returns the start times of every window containing t.
+func (w *SlidingWindowAggregate) windowStarts(t vclock.Time) []vclock.Time {
+	first := windowStart(t, w.Slide) // latest window start at or before t
+	n := int(w.Size / w.Slide)
+	starts := make([]vclock.Time, 0, n)
+	for i := 0; i < n; i++ {
+		s := first - vclock.Time(i)*vclock.Time(w.Slide)
+		if t >= s && t < s+vclock.Time(w.Size) {
+			starts = append(starts, s)
+		}
+	}
+	return starts
+}
+
+// OnEvent implements Handler.
+func (w *SlidingWindowAggregate) OnEvent(_ int, e Event, emit Emit) {
+	w.validate()
+	if w.windows == nil {
+		w.windows = make(map[vclock.Time]*windowState)
+	}
+	for _, start := range w.windowStarts(e.Time) {
+		ws := w.windows[start]
+		if ws == nil {
+			ws = &windowState{Accs: make(map[string]any)}
+			w.windows[start] = ws
+		}
+		if e.Time > ws.MaxTime {
+			ws.MaxTime = e.Time
+		}
+		acc, ok := ws.Accs[e.Key]
+		if !ok {
+			acc = w.Init()
+		}
+		ws.Accs[e.Key] = w.Add(acc, e)
+	}
+}
+
+// OnWatermark implements Handler: windows ending at or before wm emit in
+// ascending window order with sorted keys.
+func (w *SlidingWindowAggregate) OnWatermark(wm vclock.Time, emit Emit) {
+	var due []vclock.Time
+	for start := range w.windows {
+		if start+vclock.Time(w.Size) <= wm {
+			due = append(due, start)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, start := range due {
+		ws := w.windows[start]
+		keys := make([]string, 0, len(ws.Accs))
+		for k := range ws.Accs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := ws.Accs[k]
+			if w.Result != nil {
+				v = w.Result(k, v)
+			}
+			emit(Event{Time: ws.MaxTime, Key: k, Value: v})
+		}
+		delete(w.windows, start)
+	}
+}
+
+// StateSize returns the number of live (window, key) accumulators.
+func (w *SlidingWindowAggregate) StateSize() int {
+	total := 0
+	for _, ws := range w.windows {
+		total += len(ws.Accs)
+	}
+	return total
+}
+
+// SnapshotState implements Snapshotter.
+func (w *SlidingWindowAggregate) SnapshotState() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w.windows); err != nil {
+		return nil, fmt.Errorf("sliding window snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState implements Snapshotter.
+func (w *SlidingWindowAggregate) RestoreState(data []byte) error {
+	var windows map[vclock.Time]*windowState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&windows); err != nil {
+		return fmt.Errorf("sliding window restore: %w", err)
+	}
+	if windows == nil {
+		windows = make(map[vclock.Time]*windowState)
+	}
+	w.windows = windows
+	return nil
+}
+
+// SlidingCount returns a SlidingWindowAggregate counting events per key.
+func SlidingCount(size, slide time.Duration) *SlidingWindowAggregate {
+	return &SlidingWindowAggregate{
+		Size:  size,
+		Slide: slide,
+		Init:  func() any { return int64(0) },
+		Add:   func(acc any, _ Event) any { return acc.(int64) + 1 },
+	}
+}

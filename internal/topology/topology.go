@@ -1,0 +1,316 @@
+// Package topology models the wide-area deployment substrate: geo-
+// distributed sites (edge clusters and data centers), their computing
+// slots, and the pair-wise WAN link properties (bandwidth and latency)
+// between them.
+//
+// The default generator reproduces the paper's testbed (§8.2): 16 nodes —
+// 8 edge nodes with 2–4 slots each and 8 data-center nodes with 8 slots
+// each — whose inter-site bandwidth/latency distributions follow Figure 7
+// (data-center links derived from EC2 measurements, edge links from the
+// public-Internet statistics reported by Akamai).
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Mbps is a network bandwidth in megabits per second.
+type Mbps float64
+
+// BytesPerSec converts a bandwidth to bytes per second.
+func (b Mbps) BytesPerSec() float64 { return float64(b) * 1e6 / 8 }
+
+// MBPerSec converts a bandwidth to megabytes per second.
+func (b Mbps) MBPerSec() float64 { return float64(b) / 8 }
+
+// SiteID identifies a site within a Topology (dense, 0-based).
+type SiteID int
+
+// SiteKind distinguishes edge clusters from data centers.
+type SiteKind int
+
+const (
+	// Edge is a small edge cluster connected over the public Internet.
+	Edge SiteKind = iota + 1
+	// DataCenter is a large cloud data center.
+	DataCenter
+)
+
+// String returns a human-readable kind name.
+func (k SiteKind) String() string {
+	switch k {
+	case Edge:
+		return "edge"
+	case DataCenter:
+		return "datacenter"
+	default:
+		return fmt.Sprintf("SiteKind(%d)", int(k))
+	}
+}
+
+// Site is one geo-distributed location offering computing slots.
+type Site struct {
+	ID    SiteID
+	Name  string
+	Kind  SiteKind
+	Slots int // computing slots provided by the site's Task Manager
+}
+
+// Topology is an immutable description of sites and base (unloaded) WAN
+// link properties. Directional: bandwidth/latency from s1 to s2 may differ
+// from s2 to s1 (the paper notes diverse inbound/outbound bandwidth).
+type Topology struct {
+	sites []Site
+	lat   [][]time.Duration // lat[from][to]
+	bw    [][]Mbps          // bw[from][to], base capacity
+}
+
+// New assembles a topology from explicit matrices. Both matrices must be
+// n×n where n = len(sites). Diagonal entries describe intra-site links.
+func New(sites []Site, lat [][]time.Duration, bw [][]Mbps) (*Topology, error) {
+	n := len(sites)
+	if len(lat) != n || len(bw) != n {
+		return nil, fmt.Errorf("topology: matrix size mismatch (n=%d, lat=%d, bw=%d)", n, len(lat), len(bw))
+	}
+	for i := 0; i < n; i++ {
+		if len(lat[i]) != n || len(bw[i]) != n {
+			return nil, fmt.Errorf("topology: row %d size mismatch", i)
+		}
+		if sites[i].ID != SiteID(i) {
+			return nil, fmt.Errorf("topology: site %d has ID %d, want dense IDs", i, sites[i].ID)
+		}
+		if sites[i].Slots < 0 {
+			return nil, fmt.Errorf("topology: site %d has negative slots", i)
+		}
+		for j := 0; j < n; j++ {
+			if bw[i][j] < 0 || lat[i][j] < 0 {
+				return nil, fmt.Errorf("topology: negative link property %d->%d", i, j)
+			}
+		}
+	}
+	return &Topology{sites: sites, lat: lat, bw: bw}, nil
+}
+
+// N returns the number of sites.
+func (t *Topology) N() int { return len(t.sites) }
+
+// Sites returns a copy of the site list.
+func (t *Topology) Sites() []Site {
+	out := make([]Site, len(t.sites))
+	copy(out, t.sites)
+	return out
+}
+
+// Site returns the site with the given ID.
+func (t *Topology) Site(id SiteID) Site { return t.sites[id] }
+
+// Slots returns the number of computing slots at site id.
+func (t *Topology) Slots(id SiteID) int { return t.sites[id].Slots }
+
+// TotalSlots returns the total number of slots across all sites.
+func (t *Topology) TotalSlots() int {
+	total := 0
+	for _, s := range t.sites {
+		total += s.Slots
+	}
+	return total
+}
+
+// Latency returns the one-way base latency from one site to another.
+func (t *Topology) Latency(from, to SiteID) time.Duration { return t.lat[from][to] }
+
+// BaseBandwidth returns the unloaded capacity of the from→to link.
+func (t *Topology) BaseBandwidth(from, to SiteID) Mbps { return t.bw[from][to] }
+
+// SitesOfKind returns the IDs of all sites of the given kind, ascending.
+func (t *Topology) SitesOfKind(k SiteKind) []SiteID {
+	var out []SiteID
+	for _, s := range t.sites {
+		if s.Kind == k {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// PairClass classifies an inter-site link for Figure 7 style reporting.
+type PairClass int
+
+const (
+	// DataCenterPair is a link between two data centers.
+	DataCenterPair PairClass = iota + 1
+	// EdgePair is a link with at least one edge endpoint.
+	EdgePair
+)
+
+// LinkValues collects the directional inter-site (from≠to) bandwidth and
+// latency samples for a pair class, each sorted ascending — the raw series
+// behind the Figure 7 CDFs.
+func (t *Topology) LinkValues(class PairClass) (bws []Mbps, lats []time.Duration) {
+	for i := range t.sites {
+		for j := range t.sites {
+			if i == j {
+				continue
+			}
+			isDC := t.sites[i].Kind == DataCenter && t.sites[j].Kind == DataCenter
+			if (class == DataCenterPair) != isDC {
+				continue
+			}
+			bws = append(bws, t.bw[i][j])
+			lats = append(lats, t.lat[i][j])
+		}
+	}
+	sort.Slice(bws, func(a, b int) bool { return bws[a] < bws[b] })
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return bws, lats
+}
+
+// GenConfig parameterises the testbed generator. The zero value is not
+// valid; use DefaultGenConfig.
+type GenConfig struct {
+	Seed int64
+
+	EdgeSites     int
+	EdgeSlotsMin  int
+	EdgeSlotsMax  int
+	DCSites       int
+	DCSlots       int
+	IntraSiteBW   Mbps          // effectively-unconstrained in-site fabric
+	IntraSiteLat  time.Duration //
+	DCBWMin       Mbps          // data-center↔data-center link range
+	DCBWMax       Mbps
+	DCLatMin      time.Duration
+	DCLatMax      time.Duration
+	EdgeBWMin     Mbps // any link touching an edge site
+	EdgeBWMax     Mbps
+	EdgeLatMin    time.Duration
+	EdgeLatMax    time.Duration
+	AsymmetryMax  float64 // reverse direction scaled by U[1-a, 1+a]
+	dcNamesSource []string
+}
+
+// DefaultGenConfig returns the paper's §8.2 testbed parameters: 8 edge
+// nodes (2–4 slots), 8 data-center nodes (8 slots); DC links follow the
+// EC2-derived Figure 7 distribution (tens to ~250 Mbps, up to ~300 ms);
+// edge links follow the public-Internet profile (average <10 Mbps per
+// Akamai, lower same-region latency).
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:         seed,
+		EdgeSites:    8,
+		EdgeSlotsMin: 2,
+		EdgeSlotsMax: 4,
+		DCSites:      8,
+		DCSlots:      8,
+		IntraSiteBW:  10000,
+		IntraSiteLat: 500 * time.Microsecond,
+		DCBWMin:      40,
+		DCBWMax:      250,
+		DCLatMin:     20 * time.Millisecond,
+		DCLatMax:     300 * time.Millisecond,
+		EdgeBWMin:    2.5,
+		EdgeBWMax:    6,
+		EdgeLatMin:   5 * time.Millisecond,
+		EdgeLatMax:   60 * time.Millisecond,
+		AsymmetryMax: 0.3,
+		dcNamesSource: []string{
+			"oregon", "ohio", "ireland", "frankfurt",
+			"seoul", "singapore", "mumbai", "sao-paulo",
+		},
+	}
+}
+
+// Generate builds a seeded random topology per cfg. It panics on a
+// structurally invalid configuration (experiment configs are constants).
+func Generate(cfg GenConfig) *Topology {
+	if cfg.EdgeSites < 0 || cfg.DCSites < 0 || cfg.EdgeSites+cfg.DCSites == 0 {
+		panic("topology: generator needs at least one site")
+	}
+	if cfg.EdgeSlotsMax < cfg.EdgeSlotsMin {
+		panic("topology: edge slot bounds inverted")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.EdgeSites + cfg.DCSites
+
+	sites := make([]Site, 0, n)
+	for i := 0; i < cfg.DCSites; i++ {
+		name := fmt.Sprintf("dc-%d", i+1)
+		if i < len(cfg.dcNamesSource) {
+			name = cfg.dcNamesSource[i]
+		}
+		sites = append(sites, Site{
+			ID:    SiteID(len(sites)),
+			Name:  name,
+			Kind:  DataCenter,
+			Slots: cfg.DCSlots,
+		})
+	}
+	for i := 0; i < cfg.EdgeSites; i++ {
+		slots := cfg.EdgeSlotsMin
+		if cfg.EdgeSlotsMax > cfg.EdgeSlotsMin {
+			slots += rng.Intn(cfg.EdgeSlotsMax - cfg.EdgeSlotsMin + 1)
+		}
+		sites = append(sites, Site{
+			ID:    SiteID(len(sites)),
+			Name:  fmt.Sprintf("edge-%d", i+1),
+			Kind:  Edge,
+			Slots: slots,
+		})
+	}
+
+	lat := make([][]time.Duration, n)
+	bw := make([][]Mbps, n)
+	for i := range lat {
+		lat[i] = make([]time.Duration, n)
+		bw[i] = make([]Mbps, n)
+	}
+	uniformDur := func(lo, hi time.Duration) time.Duration {
+		if hi <= lo {
+			return lo
+		}
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+	uniformBW := func(lo, hi Mbps) Mbps {
+		if hi <= lo {
+			return lo
+		}
+		return lo + Mbps(rng.Float64())*(hi-lo)
+	}
+	asym := func() float64 {
+		return 1 + (rng.Float64()*2-1)*cfg.AsymmetryMax
+	}
+	for i := 0; i < n; i++ {
+		lat[i][i] = cfg.IntraSiteLat
+		bw[i][i] = cfg.IntraSiteBW
+		for j := i + 1; j < n; j++ {
+			dcPair := sites[i].Kind == DataCenter && sites[j].Kind == DataCenter
+			var b Mbps
+			var l time.Duration
+			if dcPair {
+				b = uniformBW(cfg.DCBWMin, cfg.DCBWMax)
+				l = uniformDur(cfg.DCLatMin, cfg.DCLatMax)
+			} else {
+				b = uniformBW(cfg.EdgeBWMin, cfg.EdgeBWMax)
+				l = uniformDur(cfg.EdgeLatMin, cfg.EdgeLatMax)
+			}
+			bw[i][j] = b
+			lat[i][j] = l
+			// Reverse direction: correlated but asymmetric.
+			rb := Mbps(float64(b) * asym())
+			if rb < 0.1 {
+				rb = 0.1
+			}
+			bw[j][i] = rb
+			lat[j][i] = l // propagation delay is symmetric
+		}
+	}
+
+	t, err := New(sites, lat, bw)
+	if err != nil {
+		panic(fmt.Sprintf("topology: generator produced invalid topology: %v", err))
+	}
+	return t
+}

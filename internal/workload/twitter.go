@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/stream"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Tweet is one synthetic geo-tagged tweet.
+type Tweet struct {
+	ID      int64
+	UserID  int64
+	Country string
+	Lang    string
+	Topic   string
+	Time    vclock.Time
+}
+
+// Country captures the spatial skew of the synthetic Twitter trace: a
+// weight (share of global volume) and a UTC offset driving its local
+// day/night cycle.
+type Country struct {
+	Code      string
+	Weight    float64
+	UTCOffset time.Duration
+	Lang      string
+}
+
+// DefaultCountries approximates the global Twitter geography reported by
+// Leetaru et al. (cited in §2.2): a few countries dominate volume, spread
+// across time zones.
+func DefaultCountries() []Country {
+	return []Country{
+		{Code: "us", Weight: 0.30, UTCOffset: -6 * time.Hour, Lang: "en"},
+		{Code: "jp", Weight: 0.15, UTCOffset: 9 * time.Hour, Lang: "ja"},
+		{Code: "gb", Weight: 0.10, UTCOffset: 0, Lang: "en"},
+		{Code: "br", Weight: 0.10, UTCOffset: -3 * time.Hour, Lang: "pt"},
+		{Code: "id", Weight: 0.10, UTCOffset: 7 * time.Hour, Lang: "id"},
+		{Code: "in", Weight: 0.10, UTCOffset: 5*time.Hour + 30*time.Minute, Lang: "hi"},
+		{Code: "de", Weight: 0.08, UTCOffset: time.Hour, Lang: "de"},
+		{Code: "fr", Weight: 0.07, UTCOffset: time.Hour, Lang: "fr"},
+	}
+}
+
+// TwitterConfig parameterises the tweet generator.
+type TwitterConfig struct {
+	Seed int64
+	// Countries and their weights (default DefaultCountries).
+	Countries []Country
+	// Topics is the topic vocabulary size; popularity is Zipfian
+	// (default 1000, s=1.2).
+	Topics int
+	ZipfS  float64
+	// Rate is global tweets/s (default 10000).
+	Rate float64
+	// Diurnal applies the 2× day/night pattern per country's local time
+	// when true.
+	Diurnal bool
+	// Start and Duration bound the generated event times.
+	Start    vclock.Time
+	Duration time.Duration
+}
+
+func (c TwitterConfig) withDefaults() TwitterConfig {
+	if len(c.Countries) == 0 {
+		c.Countries = DefaultCountries()
+	}
+	if c.Topics == 0 {
+		c.Topics = 1000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.Rate == 0 {
+		c.Rate = 10000
+	}
+	return c
+}
+
+// GenerateTweets produces a time-ordered synthetic tweet trace.
+func GenerateTweets(cfg TwitterConfig) []Tweet {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Topics-1))
+
+	var totalWeight float64
+	for _, country := range c.Countries {
+		totalWeight += country.Weight
+	}
+
+	n := int(c.Rate * c.Duration.Seconds())
+	tweets := make([]Tweet, 0, n)
+	interval := vclock.Time(float64(time.Second) / c.Rate)
+	at := c.Start
+	for i := 0; i < n; i++ {
+		country := pickCountry(rng, c.Countries, totalWeight, at, c.Diurnal)
+		tweets = append(tweets, Tweet{
+			ID:      int64(i),
+			UserID:  rng.Int63n(1 << 20),
+			Country: country.Code,
+			Lang:    country.Lang,
+			Topic:   fmt.Sprintf("t%04d", zipf.Uint64()),
+			Time:    at,
+		})
+		at += interval
+	}
+	return tweets
+}
+
+// pickCountry samples a country by weight, modulated by each country's
+// local diurnal factor when enabled (day hours carry 2× the night volume).
+func pickCountry(rng *rand.Rand, countries []Country, totalWeight float64, at vclock.Time, diurnal bool) Country {
+	if !diurnal {
+		x := rng.Float64() * totalWeight
+		for _, c := range countries {
+			x -= c.Weight
+			if x <= 0 {
+				return c
+			}
+		}
+		return countries[len(countries)-1]
+	}
+	weights := make([]float64, len(countries))
+	var sum float64
+	for i, c := range countries {
+		weights[i] = c.Weight * diurnalFactor(at, c.UTCOffset)
+		sum += weights[i]
+	}
+	x := rng.Float64() * sum
+	for i, c := range countries {
+		x -= weights[i]
+		if x <= 0 {
+			return c
+		}
+	}
+	return countries[len(countries)-1]
+}
+
+// diurnalFactor returns the 2×-day/1×-night raised-cosine factor for a
+// country's local time-of-day (mean 1 over a day).
+func diurnalFactor(at vclock.Time, utcOffset time.Duration) float64 {
+	local := at + vclock.Time(utcOffset)
+	day := vclock.Time(24 * time.Hour)
+	phase := float64(((local%day)+day)%day) / float64(day)
+	// Trough at local 03:00, peak at 15:00; amplitude 1/3 gives a 2:1
+	// peak/trough ratio around mean 1.
+	const amp = 1.0 / 3
+	return 1 - amp*math.Cos(2*math.Pi*(phase-3.0/24))
+}
+
+// TweetStream converts tweets into stream events keyed by country.
+func TweetStream(tweets []Tweet) []stream.Event {
+	out := make([]stream.Event, len(tweets))
+	for i, tw := range tweets {
+		out[i] = stream.Event{Time: tw.Time, Key: tw.Country, Value: tw}
+	}
+	return out
+}
+
+// CountryShares returns the fraction of tweets per country.
+func CountryShares(tweets []Tweet) map[string]float64 {
+	counts := make(map[string]float64)
+	for _, tw := range tweets {
+		counts[tw.Country]++
+	}
+	for k := range counts {
+		counts[k] /= float64(len(tweets))
+	}
+	return counts
+}

@@ -1,0 +1,119 @@
+// Package workload generates the evaluation workloads of §8.3: the Yahoo
+// Streaming Benchmark (YSB) advertising events and a synthetic geo-tagged
+// Twitter trace with realistic spatial skew, Zipfian topic popularity, and
+// the 2× day/night temporal pattern reported for Twitter (§2.2). All
+// generators are seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/stream"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// AdEventType enumerates YSB ad event types.
+type AdEventType int
+
+// YSB event types.
+const (
+	AdView AdEventType = iota + 1
+	AdClick
+	AdPurchase
+)
+
+// String names the event type.
+func (t AdEventType) String() string {
+	switch t {
+	case AdView:
+		return "view"
+	case AdClick:
+		return "click"
+	case AdPurchase:
+		return "purchase"
+	default:
+		return fmt.Sprintf("AdEventType(%d)", int(t))
+	}
+}
+
+// AdEvent is one YSB advertising event.
+type AdEvent struct {
+	UserID     int64
+	PageID     int64
+	AdID       int64
+	AdType     string
+	EventType  AdEventType
+	CampaignID int64
+	Time       vclock.Time
+}
+
+// YSBConfig parameterises the YSB generator.
+type YSBConfig struct {
+	Seed int64
+	// Campaigns is the number of ad campaigns (default 100; the paper
+	// notes YSB's key distribution is low).
+	Campaigns int
+	// AdsPerCampaign maps ads onto campaigns (default 10).
+	AdsPerCampaign int
+	// Rate is events/s (default 10000).
+	Rate float64
+	// Start and Duration bound the generated event times.
+	Start    vclock.Time
+	Duration time.Duration
+}
+
+func (c YSBConfig) withDefaults() YSBConfig {
+	if c.Campaigns == 0 {
+		c.Campaigns = 100
+	}
+	if c.AdsPerCampaign == 0 {
+		c.AdsPerCampaign = 10
+	}
+	if c.Rate == 0 {
+		c.Rate = 10000
+	}
+	return c
+}
+
+var adTypes = []string{"banner", "modal", "sponsored-search", "mail", "mobile"}
+
+// GenerateYSB produces a time-ordered YSB event stream. Event types are
+// drawn uniformly from {view, click, purchase} (so a view filter has
+// selectivity 1/3, as in the benchmark).
+func GenerateYSB(cfg YSBConfig) []AdEvent {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	n := int(c.Rate * c.Duration.Seconds())
+	events := make([]AdEvent, 0, n)
+	interval := vclock.Time(float64(time.Second) / c.Rate)
+	at := c.Start
+	for i := 0; i < n; i++ {
+		adID := rng.Int63n(int64(c.Campaigns * c.AdsPerCampaign))
+		events = append(events, AdEvent{
+			UserID:     rng.Int63n(100000),
+			PageID:     rng.Int63n(10000),
+			AdID:       adID,
+			AdType:     adTypes[rng.Intn(len(adTypes))],
+			EventType:  AdEventType(rng.Intn(3) + 1),
+			CampaignID: adID / int64(c.AdsPerCampaign),
+			Time:       at,
+		})
+		at += interval
+	}
+	return events
+}
+
+// YSBStream converts YSB events into stream events keyed by campaign.
+func YSBStream(events []AdEvent) []stream.Event {
+	out := make([]stream.Event, len(events))
+	for i, e := range events {
+		out[i] = stream.Event{
+			Time:  e.Time,
+			Key:   fmt.Sprintf("c%d", e.CampaignID),
+			Value: e,
+		}
+	}
+	return out
+}
