@@ -9,11 +9,24 @@
 //	waspd -query topk -policy wasp -duration 25m \
 //	      -workload 1,2,1,1,1 -bandwidth 1,1,1,0.5,1
 //	waspd -query ysb -policy degrade -fail-at 9m -fail-for 1m
+//	waspd -query topk -policy wasp -obs-out run.jsonl
+//	waspd -query topk -policy wasp -obs-out metrics.prom -obs-format prom
+//	waspd -query topk -policy wasp -v
+//
+// The -obs-out file captures the run's full observability record: the
+// telemetry registry plus the decision-trace timeline (every controller
+// round, the per-operator diagnosis evidence, the Figure-6 branch taken
+// and the branches rejected, and the migrations/re-plans each decision
+// started). -obs-format selects JSONL events (jsonl), a Prometheus text
+// exposition dump (prom), or the human-readable decision audit (audit);
+// "-" writes to stdout. -v prints the decision audit after the run.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -21,24 +34,45 @@ import (
 
 	"github.com/wasp-stream/wasp/internal/adapt"
 	"github.com/wasp-stream/wasp/internal/experiment"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/trace"
+	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
+// options carries every flag of one waspd invocation.
+type options struct {
+	query     string
+	policy    string
+	duration  time.Duration
+	seed      int64
+	rate      float64
+	workload  string
+	bandwidth string
+	live      bool
+	failAt    time.Duration
+	failFor   time.Duration
+	obsOut    string
+	obsFormat string
+	verbose   bool
+}
+
 func main() {
-	var (
-		query     = flag.String("query", "topk", "query: ysb | topk | eoi")
-		policy    = flag.String("policy", "wasp", "policy: none | degrade | reassign | scale | replan | wasp")
-		duration  = flag.Duration("duration", 25*time.Minute, "virtual run duration")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		rate      = flag.Float64("rate", 10000, "initial events/s per source")
-		workload  = flag.String("workload", "1", "comma-separated workload factors, one per equal phase")
-		bandwidth = flag.String("bandwidth", "1", "comma-separated bandwidth factors, one per equal phase")
-		live      = flag.Bool("live", false, "use live per-link/per-source variation traces instead of phases")
-		failAt    = flag.Duration("fail-at", 0, "inject a full failure at this time (0 = none)")
-		failFor   = flag.Duration("fail-for", time.Minute, "failure outage length")
-	)
+	var opt options
+	flag.StringVar(&opt.query, "query", "topk", "query: ysb | topk | eoi")
+	flag.StringVar(&opt.policy, "policy", "wasp", "policy: none | degrade | reassign | scale | replan | wasp")
+	flag.DurationVar(&opt.duration, "duration", 25*time.Minute, "virtual run duration")
+	flag.Int64Var(&opt.seed, "seed", 1, "deterministic seed")
+	flag.Float64Var(&opt.rate, "rate", 10000, "initial events/s per source")
+	flag.StringVar(&opt.workload, "workload", "1", "comma-separated workload factors, one per equal phase")
+	flag.StringVar(&opt.bandwidth, "bandwidth", "1", "comma-separated bandwidth factors, one per equal phase")
+	flag.BoolVar(&opt.live, "live", false, "use live per-link/per-source variation traces instead of phases")
+	flag.DurationVar(&opt.failAt, "fail-at", 0, "inject a full failure at this time (0 = none)")
+	flag.DurationVar(&opt.failFor, "fail-for", time.Minute, "failure outage length")
+	flag.StringVar(&opt.obsOut, "obs-out", "", "write the observability record to this file (\"-\" = stdout)")
+	flag.StringVar(&opt.obsFormat, "obs-format", "jsonl", "observability output format: jsonl | prom | audit")
+	flag.BoolVar(&opt.verbose, "v", false, "print the decision audit after the run")
 	flag.Parse()
-	if err := run(*query, *policy, *duration, *seed, *rate, *workload, *bandwidth, *live, *failAt, *failFor); err != nil {
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "waspd:", err)
 		os.Exit(1)
 	}
@@ -63,79 +97,116 @@ func parsePolicy(s string) (adapt.Policy, error) {
 	}
 }
 
-func parseFactors(s string, phase time.Duration) (*trace.Trace, error) {
+// parseFactorList validates one comma-separated factor list up front,
+// naming the flag, the offending token and its 1-based position so a bad
+// 25-minute invocation fails immediately instead of mid-run.
+func parseFactorList(flagName, s string) ([]float64, error) {
 	parts := strings.Split(s, ",")
 	factors := make([]float64, 0, len(parts))
-	for _, p := range parts {
-		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+	for i, p := range parts {
+		tok := strings.TrimSpace(p)
+		if tok == "" {
+			return nil, fmt.Errorf("%s: empty factor at position %d in %q", flagName, i+1, s)
+		}
+		f, err := strconv.ParseFloat(tok, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad factor %q: %w", p, err)
+			return nil, fmt.Errorf("%s: bad factor %q at position %d", flagName, tok, i+1)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return nil, fmt.Errorf("%s: factor %q at position %d must be a finite non-negative number", flagName, tok, i+1)
 		}
 		factors = append(factors, f)
+	}
+	return factors, nil
+}
+
+// parseFactors converts a validated factor list into a step trace with the
+// given phase length.
+func parseFactors(s string, phase time.Duration) (*trace.Trace, error) {
+	factors, err := parseFactorList("factor list", s)
+	if err != nil {
+		return nil, err
 	}
 	return trace.Steps(phase, factors...), nil
 }
 
-func run(query, policyName string, duration time.Duration, seed int64, rate float64,
-	workload, bandwidth string, live bool, failAt, failFor time.Duration) error {
+func run(opt options) error {
+	policy, err := parsePolicy(opt.policy)
+	if err != nil {
+		return err
+	}
+	builder, err := experiment.QueryByName(opt.query)
+	if err != nil {
+		return err
+	}
+	switch opt.obsFormat {
+	case "jsonl", "prom", "audit":
+	default:
+		return fmt.Errorf("unknown -obs-format %q (want jsonl, prom or audit)", opt.obsFormat)
+	}
+	// Validate both factor lists before anything runs (even in -live mode,
+	// where they are unused: a typo should not pass silently).
+	wFactors, err := parseFactorList("-workload", opt.workload)
+	if err != nil {
+		return err
+	}
+	bFactors, err := parseFactorList("-bandwidth", opt.bandwidth)
+	if err != nil {
+		return err
+	}
 
-	policy, err := parsePolicy(policyName)
-	if err != nil {
-		return err
-	}
-	builder, err := experiment.QueryByName(query)
-	if err != nil {
-		return err
-	}
+	// One observer shared by the engine, the network simulator and the
+	// controller: the run's metrics, decision spans and action log all
+	// land here. The experiment runner binds it to the virtual clock; the
+	// wall clock only feeds the controller-round latency histogram, so
+	// the JSONL timeline stays deterministic for a fixed seed.
+	o := obs.New(func() vclock.Time { return 0 })
+	wallStart := time.Now()
+	o.SetWallClock(func() time.Duration { return time.Since(wallStart) })
 
 	sc := experiment.Scenario{
-		Name:          fmt.Sprintf("%s/%s", query, policy),
-		Seed:          seed,
-		Duration:      duration,
+		Name:          fmt.Sprintf("%s/%s", opt.query, policy),
+		Seed:          opt.seed,
+		Duration:      opt.duration,
 		Query:         builder,
-		RatePerSource: rate,
+		RatePerSource: opt.rate,
 		Engine:        experiment.EngineConfig(policy),
 		Adapt:         experiment.AdaptConfig(policy),
+		Obs:           o,
 	}
-	if live {
+	if opt.live {
 		sc.PerLinkBandwidth = true
 		sc.PerSourceWorkload = true
 	} else {
-		phases := len(strings.Split(workload, ","))
-		if b := len(strings.Split(bandwidth, ",")); b > phases {
-			phases = b
+		phases := len(wFactors)
+		if len(bFactors) > phases {
+			phases = len(bFactors)
 		}
-		phase := duration / time.Duration(phases)
-		if sc.Workload, err = parseFactors(workload, phase); err != nil {
-			return err
-		}
-		if sc.Bandwidth, err = parseFactors(bandwidth, phase); err != nil {
-			return err
-		}
+		phase := opt.duration / time.Duration(phases)
+		sc.Workload = trace.Steps(phase, wFactors...)
+		sc.Bandwidth = trace.Steps(phase, bFactors...)
 	}
-	if failAt > 0 {
-		sc.FailAt, sc.FailFor = failAt, failFor
+	if opt.failAt > 0 {
+		sc.FailAt, sc.FailFor = opt.failAt, opt.failFor
 	}
 
-	fmt.Printf("waspd: running %s under policy %s for %v (seed %d)\n", query, policy, duration, seed)
+	fmt.Printf("waspd: running %s under policy %s for %v (seed %d)\n", opt.query, policy, opt.duration, opt.seed)
 	res, err := experiment.Run(sc)
 	if err != nil {
 		return err
 	}
 
 	fmt.Println("\nAdaptation log:")
-	if len(res.Actions) == 0 {
+	if n, err := res.Obs.WriteActionLog(os.Stdout); err != nil {
+		return err
+	} else if n == 0 {
 		fmt.Println("  (no adaptations)")
-	}
-	for _, a := range res.Actions {
-		fmt.Printf("  t=%5ds %-10s op=%-3d %s\n",
-			int(time.Duration(a.At).Seconds()), a.Kind, a.Op, a.Detail)
 	}
 
 	fmt.Println("\nDelay over time (s):")
 	var rows [][]string
 	n := 6
-	bucket := duration / time.Duration(n)
+	bucket := opt.duration / time.Duration(n)
 	for i := 0; i < n; i++ {
 		from := time.Duration(i) * bucket
 		rows = append(rows, []string{
@@ -152,5 +223,46 @@ func run(query, policyName string, duration time.Duration, seed int64, rate floa
 		experiment.Fmt(res.DelayPercentile(0.50)),
 		experiment.Fmt(res.DelayPercentile(0.95)),
 		experiment.Fmt(res.DelayPercentile(0.99)))
+
+	if opt.verbose {
+		fmt.Println("\nDecision audit:")
+		if err := res.Obs.WriteAudit(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if opt.obsOut != "" {
+		if err := writeObs(res.Obs, opt.obsOut, opt.obsFormat); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeObs exports the run's observability record in the chosen format.
+func writeObs(o *obs.Observer, path, format string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	var err error
+	switch format {
+	case "jsonl":
+		err = o.WriteJSONL(w)
+	case "prom":
+		err = o.WriteProm(w)
+	case "audit":
+		err = o.WriteAudit(w)
+	default:
+		return fmt.Errorf("unknown obs format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	return w.Flush()
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -62,15 +64,102 @@ func TestParseFactors(t *testing.T) {
 	}
 }
 
-func TestRunShortScenario(t *testing.T) {
-	err := run("eoi", "wasp", 2*time.Minute, 1, 1000, "1,2", "1,1", false, 0, time.Minute)
+func TestParseFactorList(t *testing.T) {
+	got, err := parseFactorList("-workload", "1, 2 ,0.5")
 	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 0.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseFactorList = %v, want %v", got, want)
+		}
+	}
+
+	bad := []struct {
+		give string
+		want []string // substrings the error must carry
+	}{
+		{"1,x,2", []string{"-workload", `"x"`, "position 2"}},
+		{"1,,2", []string{"-workload", "position 2"}},
+		{"1,-2", []string{"-workload", `"-2"`, "position 2"}},
+		{"NaN", []string{"-workload", "position 1"}},
+		{"1,+Inf", []string{"-workload", "position 2"}},
+	}
+	for _, tt := range bad {
+		_, err := parseFactorList("-workload", tt.give)
+		if err == nil {
+			t.Errorf("parseFactorList(%q) accepted", tt.give)
+			continue
+		}
+		for _, sub := range tt.want {
+			if !strings.Contains(err.Error(), sub) {
+				t.Errorf("parseFactorList(%q) error %q missing %q", tt.give, err, sub)
+			}
+		}
+	}
+}
+
+func shortOpts() options {
+	return options{
+		query:     "eoi",
+		policy:    "wasp",
+		duration:  2 * time.Minute,
+		seed:      1,
+		rate:      1000,
+		workload:  "1,2",
+		bandwidth: "1,1",
+		failFor:   time.Minute,
+		obsFormat: "jsonl",
+	}
+}
+
+func TestRunShortScenario(t *testing.T) {
+	if err := run(shortOpts()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("nope", "wasp", time.Minute, 1, 1000, "1", "1", false, 0, 0); err == nil {
+
+	bad := shortOpts()
+	bad.query = "nope"
+	if err := run(bad); err == nil {
 		t.Fatal("unknown query accepted")
 	}
-	if err := run("eoi", "nope", time.Minute, 1, 1000, "1", "1", false, 0, 0); err == nil {
+
+	bad = shortOpts()
+	bad.policy = "nope"
+	if err := run(bad); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+
+	bad = shortOpts()
+	bad.workload = "1,x"
+	if err := run(bad); err == nil {
+		t.Fatal("bad workload factors accepted")
+	}
+
+	bad = shortOpts()
+	bad.obsFormat = "xml"
+	if err := run(bad); err == nil {
+		t.Fatal("bad obs format accepted")
+	}
+}
+
+func TestRunWritesObsFile(t *testing.T) {
+	path := t.TempDir() + "/run.jsonl"
+	opt := shortOpts()
+	opt.obsOut = path
+	if err := run(opt); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := string(raw)
+	if !strings.Contains(data, `"name":"controller.round"`) {
+		t.Errorf("obs file missing controller rounds:\n%.500s", data)
+	}
+	if !strings.Contains(data, `"name":"diagnose"`) {
+		t.Errorf("obs file missing diagnosis evidence:\n%.500s", data)
 	}
 }

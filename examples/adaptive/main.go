@@ -52,12 +52,10 @@ func run() error {
 
 	wasp := results[adapt.PolicyWASP]
 	fmt.Println("WASP adaptation log:")
-	if len(wasp.Actions) == 0 {
+	if n, err := wasp.Obs.WriteActionLog(os.Stdout); err != nil {
+		return err
+	} else if n == 0 {
 		fmt.Println("  (no adaptations were needed)")
-	}
-	for _, a := range wasp.Actions {
-		fmt.Printf("  t=%4ds %-10s op=%-3d %s\n",
-			int(time.Duration(a.At).Seconds()), a.Kind, a.Op, a.Detail)
 	}
 
 	fmt.Println("\nhead-to-head (phase means):")

@@ -8,6 +8,7 @@ import (
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/matching"
 	"github.com/wasp-stream/wasp/internal/metrics"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
 	"github.com/wasp-stream/wasp/internal/placement"
 	"github.com/wasp-stream/wasp/internal/plan"
@@ -74,14 +75,17 @@ func (c *Controller) previewReassign(id plan.OpID) (feasible bool, overhead vclo
 func (c *Controller) tryReassign(id plan.OpID) bool {
 	pl, err := physical.ReassignStage(c.eng.Plan(), id, c.top, c.scheduleConfig(c.lastRateFactor), c.freeSlotsPlusOwn(id))
 	if err != nil {
+		c.reject("re-assign", "no placement found: "+err.Error())
 		return false
 	}
 	newSites := placementSites(pl)
 	if sameSites(newSites, c.eng.Plan().Stages[id].Sites) {
+		c.reject("re-assign", "solver kept the current placement")
 		return false
 	}
 	migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
 	if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+		c.reject("re-assign", "engine: "+err.Error())
 		return false
 	}
 	c.record(ActionReassign, id, fmt.Sprintf("to %v, est transition %v", newSites, bottleneck))
@@ -110,12 +114,15 @@ func (c *Controller) scaleForCompute(id plan.OpID, snap *metrics.Snapshot, expec
 	if pPrime <= p {
 		// Already at the cap (p′ > p_max): re-planning is the remaining
 		// lever (Fig 6) — but only the full WASP policy may switch plans.
+		c.reject("scale-up", fmt.Sprintf("p′ %d ≤ p %d (p_max %d)", pPrime, p, c.cfg.PMax),
+			obs.Int("p_prime", pPrime), obs.Int("p", p), obs.Int("p_max", c.cfg.PMax))
 		if c.cfg.Policy == PolicyWASP {
 			return c.tryReplan(id, "compute-bound at p_max")
 		}
 		return false
 	}
 	if !c.eng.Plan().Graph.Operator(id).Splittable {
+		c.reject("scale-up", "operator cannot be split")
 		if c.cfg.Policy == PolicyWASP {
 			return c.tryReplan(id, "compute-bound unsplittable operator")
 		}
@@ -123,10 +130,13 @@ func (c *Controller) scaleForCompute(id plan.OpID, snap *metrics.Snapshot, expec
 	}
 	newSites, ok := c.placeScaleUp(id, pPrime)
 	if !ok {
+		c.reject("scale-up", fmt.Sprintf("no placement for p′ %d", pPrime),
+			obs.Int("p_prime", pPrime))
 		return false
 	}
 	migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
 	if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+		c.reject("scale-up", "engine: "+err.Error())
 		return false
 	}
 	c.record(ActionScaleUp, id, fmt.Sprintf("p %d→%d at %v, est transition %v", p, pPrime, newSites, bottleneck))
@@ -221,6 +231,7 @@ func (c *Controller) solveAdditional(id plan.OpID, need, pPrime int, free []int)
 func (c *Controller) scaleForNetwork(id plan.OpID, expectedIn map[plan.OpID]float64) bool {
 	p := c.eng.Parallelism(id)
 	if !c.eng.Plan().Graph.Operator(id).Splittable {
+		c.reject("scale-out", "operator cannot be split")
 		return false
 	}
 	cur := c.eng.Plan().Stages[id].Sites
@@ -232,6 +243,7 @@ func (c *Controller) scaleForNetwork(id plan.OpID, expectedIn map[plan.OpID]floa
 			sortSites(newSites)
 			migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
 			if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+				c.reject("scale-out", "engine: "+err.Error())
 				return false
 			}
 			c.record(ActionScaleOut, id, fmt.Sprintf("p %d→%d at %v, est transition %v", p, pPrime, newSites, bottleneck))
@@ -249,11 +261,14 @@ func (c *Controller) scaleForNetwork(id plan.OpID, expectedIn map[plan.OpID]floa
 		newSites := placementSites(pl)
 		migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
 		if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+			c.reject("scale-out", "engine: "+err.Error())
 			return false
 		}
 		c.record(ActionScaleOut, id, fmt.Sprintf("p %d→%d at %v, est transition %v", p, pPrime, newSites, bottleneck))
 		return true
 	}
+	c.reject("scale-out", fmt.Sprintf("no feasible placement for any p′ ≤ p_max %d (p′ > p_max or no slots)", c.cfg.PMax),
+		obs.Int("p", p), obs.Int("p_max", c.cfg.PMax))
 	return false
 }
 
@@ -274,11 +289,13 @@ func (c *Controller) scaleToPartition(id plan.OpID) bool {
 			continue
 		}
 		if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+			c.reject("scale-out", "engine: "+err.Error())
 			return false
 		}
 		c.record(ActionScaleOut, id, fmt.Sprintf("partitioned state: p %d→%d at %v, est transition %v", p, pPrime, newSites, bottleneck))
 		return true
 	}
+	c.reject("scale-out", fmt.Sprintf("no state-partitioning placement within t_max %v up to p_max %d", c.cfg.TMax, c.cfg.PMax))
 	return false
 }
 
@@ -334,10 +351,15 @@ func (c *Controller) maybeScaleDown(now vclock.Time, snap *metrics.Snapshot, exp
 			continue
 		}
 		migs, _ := c.buildMigrations(id, newSites, c.cfg.Migration)
+		c.beginDecision(id, "over-provisioned",
+			obs.F64("lambda_in_hat", expectedIn[id]), obs.Int("p", p))
 		if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+			c.reject("scale-down", "engine: "+err.Error())
+			c.endDecision(false)
 			continue
 		}
 		c.record(ActionScaleDown, id, fmt.Sprintf("p %d→%d at %v", p, p-1, newSites))
+		c.endDecision(true)
 		return
 	}
 }

@@ -97,6 +97,12 @@ func TestPolicyAndActionStrings(t *testing.T) {
 		ActionReplan.String() != "re-plan" {
 		t.Fatal("ActionKind.String mismatch")
 	}
+	if got := Policy(42).String(); got != "Policy(42)" {
+		t.Fatalf("unknown Policy String = %q", got)
+	}
+	if got := ActionKind(42).String(); got != "ActionKind(42)" {
+		t.Fatalf("unknown ActionKind String = %q", got)
+	}
 }
 
 func TestTable2MatchesPaper(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/metrics"
 	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -233,13 +234,16 @@ type Controller struct {
 	lastActionAt   vclock.Time
 	quietRounds    int
 	lastRateFactor float64
+
+	obs      *obs.Observer
+	decision *obs.Span
 }
 
 // NewController wires a controller to a deployed engine. replan may be nil
 // for queries without a re-orderable combine group (re-planning then falls
 // back to re-assignment).
 func NewController(cfg Config, eng *engine.Engine, top *topology.Topology, net *netsim.Network, sched *vclock.Scheduler, replan *ReplanSpec) *Controller {
-	return &Controller{
+	c := &Controller{
 		cfg:    cfg.withDefaults(),
 		eng:    eng,
 		top:    top,
@@ -247,6 +251,8 @@ func NewController(cfg Config, eng *engine.Engine, top *topology.Topology, net *
 		sched:  sched,
 		replan: replan,
 	}
+	c.SetObserver(obs.New(sched.Now))
+	return c
 }
 
 // Start begins periodic monitoring (and, if configured, the long-term
@@ -282,16 +288,28 @@ func (c *Controller) LongTermRound(now vclock.Time) {
 	if c.cfg.Policy != PolicyWASP && c.cfg.Policy != PolicyReplan {
 		return
 	}
+	sp := c.obs.StartSpan("controller.longterm", obs.String("policy", c.cfg.Policy.String()))
+	defer sp.Finish()
 	if c.eng.Replanning() || c.eng.Failed() {
+		sp.Event("skip", obs.String("reason", c.settleReason()))
 		return
 	}
 	g := c.eng.Plan().Graph
 	for _, id := range g.OperatorIDs() {
 		if c.eng.Reconfiguring(id) {
+			sp.Event("skip", obs.String("reason", "reconfiguration in flight"), obs.Int("op", int(id)))
 			return
 		}
 	}
 	c.tryReplan(g.OperatorIDs()[0], "long-term background re-evaluation")
+}
+
+// settleReason names why a round defers to in-flight work.
+func (c *Controller) settleReason() string {
+	if c.eng.Failed() {
+		return "failure outage in progress"
+	}
+	return "plan switch in progress"
 }
 
 // Actions returns the adaptations performed so far.
@@ -306,6 +324,8 @@ func (c *Controller) record(kind ActionKind, op plan.OpID, detail string) {
 	c.actions = append(c.actions, Action{At: now, Kind: kind, Op: op, Detail: detail})
 	c.lastActionAt = now
 	c.quietRounds = 0
+	c.obs.Emit("action", obs.String("kind", kind.String()), obs.I64("op", int64(op)), obs.String("detail", detail))
+	c.obs.Registry().Counter("wasp_controller_actions_total", "kind", kind.String()).Inc()
 }
 
 // Round runs one monitoring + adaptation round (normally driven by the
@@ -315,22 +335,40 @@ func (c *Controller) Round(now vclock.Time) {
 	if c.cfg.Policy == PolicyNone || c.cfg.Policy == PolicyDegrade {
 		return
 	}
+	round := c.obs.StartSpan("controller.round", obs.String("policy", c.cfg.Policy.String()))
+	c.obs.Registry().Counter("wasp_controller_rounds_total").Inc()
+	wall := c.obs.Wall()
+	var wallStart time.Duration
+	if wall != nil {
+		wallStart = wall()
+	}
+	defer func() {
+		if wall != nil {
+			c.obs.Registry().Histogram("wasp_controller_round_seconds", roundLatencyBuckets).
+				Observe((wall() - wallStart).Seconds())
+		}
+		round.Finish()
+	}()
 	// Let in-flight adaptations and failure outages settle first.
 	if c.eng.Replanning() || c.eng.Failed() {
+		round.Event("skip", obs.String("reason", c.settleReason()))
 		return
 	}
 	g := c.eng.Plan().Graph
 	for _, id := range g.OperatorIDs() {
 		if c.eng.Reconfiguring(id) {
+			round.Event("skip", obs.String("reason", "reconfiguration in flight"), obs.Int("op", int(id)))
 			return
 		}
 	}
 
 	expectedIn, _, err := metrics.EstimateActual(g, snap)
 	if err != nil {
+		round.Event("skip", obs.String("reason", "workload estimate failed: "+err.Error()))
 		return
 	}
 	c.lastRateFactor = c.measuredRateFactor(snap)
+	round.SetAttrs(obs.F64("rate_factor", c.lastRateFactor))
 
 	if c.adaptBottleneck(now, snap, expectedIn) {
 		return
@@ -353,6 +391,7 @@ func (c *Controller) adaptBottleneck(now vclock.Time, snap *metrics.Snapshot, ex
 			continue
 		}
 		cond := c.diagnose(id, snap, expectedIn)
+		c.emitDiagnosis(id, cond, snap.Ops[id], expectedIn[id])
 		if cond == metrics.Healthy {
 			continue
 		}
@@ -408,9 +447,23 @@ func (c *Controller) capacityOf(id plan.OpID, tasks int) float64 {
 	return float64(tasks) * c.cfg.SlotRate / cost
 }
 
-// act dispatches the policy decision for one bottleneck operator (Fig 6).
+// act opens the decision span for one bottleneck operator and dispatches
+// the policy decision (Fig 6). Everything the policy does — actions taken,
+// branches rejected, the migrations and plan switches started — nests
+// under this span in the audit trail.
 func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, snap *metrics.Snapshot, expectedIn map[plan.OpID]float64) bool {
 	op := c.eng.Plan().Graph.Operator(id)
+	c.beginDecision(id, cond.String(),
+		obs.Bool("stateful", op.Stateful),
+		obs.Bool("splittable", op.Splittable),
+		obs.F64("lambda_in_hat", expectedIn[id]))
+	taken := c.dispatch(now, id, cond, op, snap, expectedIn)
+	c.endDecision(taken)
+	return taken
+}
+
+// dispatch runs the policy's decision tree for one bottleneck operator.
+func (c *Controller) dispatch(now vclock.Time, id plan.OpID, cond metrics.Condition, op *plan.Operator, snap *metrics.Snapshot, expectedIn map[plan.OpID]float64) bool {
 	switch c.cfg.Policy {
 	case PolicyReassign:
 		// Re-assignment only, still subject to the §6.2 overhead check:
@@ -421,12 +474,14 @@ func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, 
 		// does not adapt — the paper's t=600 behaviour.
 		feasible, overhead := c.previewReassign(id)
 		if !feasible {
+			c.reject("re-assign", "no placement found at current parallelism")
 			return false
 		}
 		if overhead > vclock.Time(c.cfg.TMax) {
 			if c.cfg.ForcePartition {
 				return c.scaleToPartition(id)
 			}
+			c.rejectOverhead(overhead)
 			return false
 		}
 		return c.tryReassign(id)
@@ -462,6 +517,7 @@ func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, 
 			// No alternative plan: fall through to physical adaptation.
 		}
 		if !op.Splittable {
+			c.reject("scale-out", "operator cannot be split")
 			return c.tryReplan(id, "operator cannot be split")
 		}
 		feasible, overhead := c.previewReassign(id)
@@ -473,6 +529,7 @@ func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, 
 			// the parallelism cap blocks that, re-plan (Fig 6). Executing
 			// the over-budget migration is never an option — suspending
 			// the stage longer than t_max costs more than it fixes.
+			c.rejectOverhead(overhead)
 			if c.scaleForNetwork(id, expectedIn) {
 				return true
 			}
@@ -480,6 +537,7 @@ func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, 
 		}
 		// No placement at the current parallelism: scale out, and
 		// re-plan if even that fails (p′ > p_max or no slots).
+		c.reject("re-assign", "no placement found at current parallelism")
 		if c.scaleForNetwork(id, expectedIn) {
 			return true
 		}
@@ -487,4 +545,12 @@ func (c *Controller) act(now vclock.Time, id plan.OpID, cond metrics.Condition, 
 	default:
 		return false
 	}
+}
+
+// rejectOverhead records the §6.2 t_max rejection of a re-assignment.
+func (c *Controller) rejectOverhead(overhead vclock.Time) {
+	c.reject("re-assign",
+		fmt.Sprintf("migration overhead %v > t_max %v", time.Duration(overhead), c.cfg.TMax),
+		obs.Dur("overhead", time.Duration(overhead)),
+		obs.Dur("t_max", c.cfg.TMax))
 }

@@ -16,6 +16,7 @@ import (
 // whether a plan switch was initiated.
 func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 	if c.replan == nil || c.replan.Spec == nil || c.replan.Current == nil {
+		c.reject("re-plan", "no re-plan spec (no re-orderable combine group)")
 		return false
 	}
 	statefulTemplate := c.replan.Spec.Template.Stateful
@@ -28,10 +29,12 @@ func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 	cfg := physical.PlannerConfig{ScheduleConfig: c.scheduleConfig(c.lastRateFactor)}
 	best, _, err := physical.ReplanQuery(c.replan.Base, c.replan.Spec, c.replan.Current, requireAdmissible, c.top, cfg)
 	if err != nil {
+		c.reject("re-plan", "planner: "+err.Error())
 		return false
 	}
 	if sameTree(best.Variant, c.replan.Current) {
-		return false // already running the best plan
+		c.reject("re-plan", "already running the best plan")
+		return false
 	}
 
 	carry := c.carryMap(c.replan.Current, best.Variant)
@@ -39,6 +42,7 @@ func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 	if err := c.eng.BeginReplan(best.Plan, carry, func(vclock.Time) {
 		c.replan.Current = newVariant
 	}); err != nil {
+		c.reject("re-plan", "engine: "+err.Error())
 		return false
 	}
 	c.record(ActionReplan, id, fmt.Sprintf("%s: switch to %v", reason, best.Variant.Tree))

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -96,6 +97,10 @@ type group struct {
 	dropped       float64
 	generated     float64 // sources: external events generated
 	backpressured bool
+
+	// bpActive tracks the backpressure edge for telemetry: an onset event
+	// fires only on the false→true transition (observability only).
+	bpActive bool
 }
 
 // capacity returns the group's processing budget in events/s.
@@ -174,6 +179,22 @@ type Engine struct {
 
 	// lastSample tracks the previous Sample time for rate computation.
 	lastSample vclock.Time
+
+	// obs is the optional observability hookup (nil = zero overhead); tel
+	// caches the registry instruments the hot path touches.
+	obs *obs.Observer
+	tel engineTel
+}
+
+// engineTel caches the engine's registry instruments so hot-path updates
+// skip the registry's map lookups. All handles are nil when obs is nil.
+type engineTel struct {
+	sinkDelay  *obs.Histogram
+	migBytes   *obs.Counter
+	migSeconds *obs.Histogram
+	reconfigs  *obs.Counter
+	replans    *obs.Counter
+	failures   *obs.Counter
 }
 
 // New creates an engine over the given substrate. The engine does not
@@ -189,6 +210,40 @@ func New(cfg Config, top *topology.Topology, net *netsim.Network, sched *vclock.
 		sourceFactors:  make(map[plan.OpID]*trace.Trace),
 		stragglers:     make(map[groupKey]float64),
 		workloadFactor: trace.Constant(1),
+	}
+}
+
+// SetObserver wires the engine's telemetry and event tracing to an
+// observer. Pass before Start; a nil observer (the default) keeps every
+// instrumentation point a no-op on the hot path.
+func (e *Engine) SetObserver(o *obs.Observer) {
+	e.obs = o
+	if o == nil {
+		e.tel = engineTel{}
+		return
+	}
+	r := o.Registry()
+	r.Describe("wasp_events_processed_total", "Events processed, per operator.")
+	r.Describe("wasp_events_emitted_total", "Events emitted downstream, per operator.")
+	r.Describe("wasp_events_dropped_total", "Events shed by the Degrade policy, per operator.")
+	r.Describe("wasp_events_generated_total", "External events generated, per source operator.")
+	r.Describe("wasp_input_queue_events", "Events waiting in input queues at sample time, per operator.")
+	r.Describe("wasp_send_queue_events", "Events waiting in outbound send queues at sample time, per operator.")
+	r.Describe("wasp_operator_tasks", "Current parallelism, per operator.")
+	r.Describe("wasp_backpressure_onsets_total", "Backpressure onset transitions, per operator.")
+	r.Describe("wasp_sink_delay_seconds", "End-to-end delay of sink deliveries.")
+	r.Describe("wasp_migration_bytes_total", "State bytes scheduled for migration.")
+	r.Describe("wasp_migration_seconds", "Wall (virtual) duration of stage reconfigurations.")
+	r.Describe("wasp_reconfigurations_total", "Stage reconfigurations started.")
+	r.Describe("wasp_replans_total", "Plan switches completed.")
+	r.Describe("wasp_failures_total", "Full-outage failures injected.")
+	e.tel = engineTel{
+		sinkDelay:  r.Histogram("wasp_sink_delay_seconds", []float64{0.5, 1, 2, 5, 10, 20, 40, 80, 160, 320}),
+		migBytes:   r.Counter("wasp_migration_bytes_total"),
+		migSeconds: r.Histogram("wasp_migration_seconds", []float64{1, 2, 5, 10, 20, 30, 60, 120, 300}),
+		reconfigs:  r.Counter("wasp_reconfigurations_total"),
+		replans:    r.Counter("wasp_replans_total"),
+		failures:   r.Counter("wasp_failures_total"),
 	}
 }
 
@@ -487,6 +542,7 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 			e.totalDelivered += c.count
 			g.processed += c.count
 			e.deliveries = append(e.deliveries, SinkDelivery{At: now, Delay: delay, Count: c.src()})
+			e.tel.sinkDelay.Observe(delay.Seconds())
 		}
 		return
 	}
@@ -663,14 +719,41 @@ func (e *Engine) sendBlocked(g *group) bool {
 
 // updateBackpressure refreshes each group's backpressure flag: a group is
 // backpressured when its input queue or any of its send queues is at the
-// bound, so next tick's flow demands and processing observe it.
+// bound, so next tick's flow demands and processing observe it. With an
+// observer attached, groups are visited in deterministic order and each
+// false→true transition emits a backpressure.onset event.
 func (e *Engine) updateBackpressure() {
-	for _, g := range e.groups {
-		if e.queueFull(g) || e.sendBlocked(g) {
-			g.backpressured = true
+	if e.obs == nil {
+		for _, g := range e.groups {
+			if e.queueFull(g) || e.sendBlocked(g) {
+				g.backpressured = true
+			}
+		}
+		return
+	}
+	order, err := e.plan.StageIDs()
+	if err != nil {
+		return
+	}
+	for _, id := range order {
+		for _, g := range e.opGroups(id) {
+			bp := e.queueFull(g) || e.sendBlocked(g)
+			if bp {
+				g.backpressured = true
+			}
+			if bp && !g.bpActive {
+				e.obs.Emit("backpressure.onset",
+					obs.Int("op", int(g.op.ID)), obs.Int("site", int(g.site)),
+					obs.F64("input_queue", g.inQ.len()))
+				e.obs.Registry().Counter("wasp_backpressure_onsets_total", "op", opLabel(g.op.ID)).Inc()
+			}
+			g.bpActive = bp
 		}
 	}
 }
+
+// opLabel renders an operator ID as a metric label value.
+func opLabel(id plan.OpID) string { return fmt.Sprintf("%d", int(id)) }
 
 func countSites(sites []topology.SiteID, s topology.SiteID) int {
 	n := 0

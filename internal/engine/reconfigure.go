@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -29,6 +30,7 @@ type reconfiguration struct {
 	transfers []*netsim.Transfer
 	startedAt vclock.Time
 	finished  func(now vclock.Time)
+	span      *obs.Span
 }
 
 // Reconfigure suspends the stage running `op`, migrates state per
@@ -77,11 +79,24 @@ func (e *Engine) Reconfigure(op plan.OpID, newSites []topology.SiteID, migration
 		startedAt: e.sched.Now(),
 		finished:  onDone,
 	}
+	var migBytes float64
 	for _, m := range migrations {
 		if m.Bytes <= 0 || m.FromSite == m.ToSite {
 			continue
 		}
 		rc.transfers = append(rc.transfers, e.net.StartTransfer(m.FromSite, m.ToSite, m.Bytes))
+		migBytes += m.Bytes
+	}
+	if e.obs != nil {
+		// The span parents to whatever decision span is active at the
+		// call (the controller's), and finishes when the stage resumes.
+		rc.span = e.obs.StartAsync("engine.reconfigure",
+			obs.Int("op", int(op)),
+			obs.String("sites", fmt.Sprint(rc.newSites)),
+			obs.Int("transfers", len(rc.transfers)),
+			obs.F64("migration_bytes", migBytes))
+		e.tel.reconfigs.Inc()
+		e.tel.migBytes.Add(migBytes)
 	}
 	e.reconfigs = append(e.reconfigs, rc)
 	return nil
@@ -179,6 +194,10 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 
 	e.rebuildFlows()
 	e.refreshGoodputModel()
+	if rc.span != nil {
+		e.tel.migSeconds.Observe((now - rc.startedAt).Seconds())
+		rc.span.Finish()
+	}
 	if rc.finished != nil {
 		rc.finished(now)
 	}
@@ -191,6 +210,10 @@ func (e *Engine) Fail(outage vclock.Time) {
 	until := e.sched.Now() + outage
 	if until > e.failedUntil {
 		e.failedUntil = until
+	}
+	if e.obs != nil {
+		e.obs.Emit("engine.fail", obs.Dur("outage", outage))
+		e.tel.failures.Inc()
 	}
 }
 
@@ -205,6 +228,7 @@ type pendingReplan struct {
 	carry    map[plan.OpID]plan.OpID // old op → new op for state carryover
 	started  vclock.Time
 	finished func(now vclock.Time)
+	span     *obs.Span
 }
 
 // BeginReplan initiates a query re-plan (§4.3): source emission is
@@ -244,6 +268,11 @@ func (e *Engine) BeginReplan(newPlan *physical.Plan, carry map[plan.OpID]plan.Op
 		carry:    carry,
 		started:  e.sched.Now(),
 		finished: onDone,
+	}
+	if e.obs != nil {
+		e.replan.span = e.obs.StartAsync("engine.replan",
+			obs.Int("carried_ops", len(carry)),
+			obs.Int("new_stages", len(newPlan.Stages)))
 	}
 	return nil
 }
@@ -329,6 +358,10 @@ func (e *Engine) progressReplan(now vclock.Time) {
 	e.rebuildFlows()
 	e.refreshGoodputModel()
 	e.replan = nil
+	if rp.span != nil {
+		e.tel.replans.Inc()
+		rp.span.Finish()
+	}
 	if rp.finished != nil {
 		rp.finished(now)
 	}

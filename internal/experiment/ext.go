@@ -117,6 +117,7 @@ func RunStraggler(seed int64) ([]StragglerRun, error) {
 				Samples:      samples,
 				ProcessedPct: pct,
 				Actions:      ctl.Actions(),
+				Obs:          ctl.Observer(),
 			},
 			During: Mean(Window(samples, vclock.Time(straggleAt+100*time.Second), vclock.Time(straggleEnd))),
 			After:  Mean(Window(samples, vclock.Time(straggleEnd+100*time.Second), vclock.Time(duration))),

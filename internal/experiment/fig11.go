@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/adapt"
@@ -95,15 +96,14 @@ func FormatFig11(runs []Fig11Run, duration time.Duration) string {
 	out += Table(header, rows)
 
 	out += "\nAdaptation log (WASP arm):\n"
+	var log strings.Builder
 	for _, run := range runs {
 		if run.Policy != adapt.PolicyWASP {
 			continue
 		}
-		for _, a := range run.Result.Actions {
-			out += fmt.Sprintf("  t=%4ds %-10s op=%d %s\n",
-				int(time.Duration(a.At).Seconds()), a.Kind, a.Op, a.Detail)
-		}
+		run.Result.Obs.WriteActionLog(&log)
 	}
+	out += log.String()
 	return out
 }
 

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/obs"
+	"github.com/wasp-stream/wasp/internal/trace"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// runObserved executes one fixed WASP scenario with a shared observer and
+// returns its JSONL record. The workload doubles mid-run so the controller
+// has something to adapt to.
+func runObserved(t *testing.T) string {
+	t.Helper()
+	o := obs.New(func() vclock.Time { return 0 })
+	duration := 400 * time.Second
+	phase := duration / 4
+	sc := Scenario{
+		Name:      "obs-det",
+		Seed:      1,
+		Duration:  duration,
+		Engine:    EngineConfig(adapt.PolicyWASP),
+		Adapt:     AdaptConfig(adapt.PolicyWASP),
+		Workload:  trace.Steps(phase, 1, 2, 1, 1),
+		Bandwidth: trace.Steps(phase, 1, 1, 0.5, 1),
+		Obs:       o,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Actions) == 0 {
+		t.Fatal("scenario produced no adaptations; cannot exercise decision tracing")
+	}
+	var b strings.Builder
+	if err := res.Obs.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRunObsDeterministic checks the headline acceptance property: two
+// same-seed runs produce byte-identical JSONL timelines, and every
+// adaptation action is recorded inside a decision span that carries the
+// diagnosis evidence and sits under a controller round.
+func TestRunObsDeterministic(t *testing.T) {
+	a := runObserved(t)
+	b := runObserved(t)
+	if a != b {
+		t.Fatal("same-seed runs produced different JSONL records")
+	}
+
+	actions, decisions, rounds, diagnoses := 0, 0, 0, 0
+	for _, ln := range strings.Split(strings.TrimSuffix(a, "\n"), "\n") {
+		switch {
+		case strings.Contains(ln, `"name":"controller.round"`):
+			rounds++
+			if strings.Contains(ln, `"name":"diagnose"`) {
+				diagnoses++
+				if !strings.Contains(ln, `"lambda_in_hat"`) || !strings.Contains(ln, `"lambda_p"`) {
+					t.Errorf("diagnose event missing evidence: %s", ln)
+				}
+			}
+		case strings.Contains(ln, `"name":"decision"`):
+			decisions++
+			if strings.Contains(ln, `"parent":0,`) {
+				t.Errorf("decision span has no parent round: %s", ln)
+			}
+		}
+		// Action events must only ever appear nested inside a span —
+		// never as bare top-level events.
+		if strings.Contains(ln, `"name":"action"`) {
+			actions++
+			if !strings.Contains(ln, `"type":"span"`) {
+				t.Errorf("action event not nested in a span: %s", ln)
+			}
+			if !strings.Contains(ln, `"name":"decision"`) {
+				t.Errorf("action event outside a decision span: %s", ln)
+			}
+		}
+		// Migrations started by a decision parent under it.
+		if strings.Contains(ln, `"name":"engine.reconfigure"`) && strings.Contains(ln, `"parent":0,`) {
+			t.Errorf("reconfigure span has no parent decision: %s", ln)
+		}
+	}
+	if rounds == 0 || decisions == 0 || actions == 0 || diagnoses == 0 {
+		t.Fatalf("timeline incomplete: rounds=%d decisions=%d actions=%d diagnoses=%d",
+			rounds, decisions, actions, diagnoses)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/wasp-stream/wasp/internal/adapt"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
 	"github.com/wasp-stream/wasp/internal/queries"
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -58,6 +59,12 @@ type Scenario struct {
 	// StateBytes, when > 0, overrides the stateful combine template's
 	// state size (the §8.7 experiments control it directly).
 	StateBytes float64
+
+	// Obs, when non-nil, is shared by the engine, the network and the
+	// controller: every telemetry series, decision span and adaptation
+	// action of the run lands in it. Nil still records the controller's
+	// action log in a run-private observer (see Result.Obs).
+	Obs *obs.Observer
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -98,6 +105,10 @@ type Result struct {
 	ProcessedPct float64
 	// Actions is the adaptation log.
 	Actions []adapt.Action
+	// Obs is the run's observer (the scenario's, or the controller's
+	// run-private default) — the decision audit and action log behind
+	// Actions.
+	Obs *obs.Observer
 	// InitialTasks is the task count of the initial deployment.
 	InitialTasks int
 }
@@ -109,6 +120,10 @@ func Run(s Scenario) (*Result, error) {
 	top := topology.Generate(topology.DefaultGenConfig(sc.Seed))
 	net := netsim.New(top)
 	sched := vclock.NewScheduler(nil)
+	if sc.Obs != nil {
+		sc.Obs.Bind(sched.Now)
+		net.SetObserver(sc.Obs)
+	}
 
 	if sc.Bandwidth != nil {
 		net.SetGlobalFactor(sc.Bandwidth)
@@ -147,6 +162,9 @@ func Run(s Scenario) (*Result, error) {
 	}
 
 	eng := engine.New(sc.Engine, top, net, sched)
+	if sc.Obs != nil {
+		eng.SetObserver(sc.Obs)
+	}
 	if err := eng.Deploy(best.Plan); err != nil {
 		return nil, fmt.Errorf("deploy %s: %w", q.Name, err)
 	}
@@ -162,6 +180,9 @@ func Run(s Scenario) (*Result, error) {
 
 	ctl := adapt.NewController(sc.Adapt, eng, top, net, sched,
 		&adapt.ReplanSpec{Base: q.Graph, Spec: q.Spec, Current: best.Variant})
+	if sc.Obs != nil {
+		ctl.SetObserver(sc.Obs)
+	}
 
 	if sc.FailFor > 0 {
 		sched.At(vclock.Time(sc.FailAt), func(vclock.Time) {
@@ -211,6 +232,7 @@ func Run(s Scenario) (*Result, error) {
 		res.ProcessedPct = 100
 	}
 	res.Actions = ctl.Actions()
+	res.Obs = ctl.Observer()
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -149,26 +150,27 @@ func EstimateActual(g *plan.Graph, snap *Snapshot) (inRate, outRate map[plan.OpI
 //	p′ = ⌈ λ̂I / λP · p ⌉
 //
 // λP is the operator's aggregate processing rate at parallelism p. The
-// result is never below p.
+// result is never below p, and extreme rate ratios clamp to
+// maxParallelism rather than overflowing the int conversion.
 func ScaleFactor(expectedIn, processingRate float64, p int) int {
 	if processingRate <= 0 || p < 1 {
 		return p + 1 // cannot estimate throughput: probe upward by one
 	}
-	pPrime := int(ceilDiv(expectedIn*float64(p), processingRate))
+	q := math.Ceil(expectedIn * float64(p) / processingRate)
+	if q >= maxParallelism {
+		return maxParallelism
+	}
+	pPrime := int(q)
 	if pPrime < p {
 		return p
 	}
 	return pPrime
 }
 
-func ceilDiv(a, b float64) float64 {
-	q := a / b
-	i := float64(int64(q))
-	if q > i {
-		return i + 1
-	}
-	return i
-}
+// maxParallelism bounds ScaleFactor's result: float64→int conversion is
+// implementation-defined once the quotient exceeds the int range, and no
+// real deployment approaches this anyway.
+const maxParallelism = 1 << 30
 
 // ProcessingRatio is the paper's quality metric (§8.3): processed rate
 // over actual source rate across an interval; 1.0 means the query kept up.

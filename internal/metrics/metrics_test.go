@@ -61,6 +61,30 @@ func TestDiagnose(t *testing.T) {
 			upstreamOut: 100,
 			want:        ComputeConstrained,
 		},
+		{
+			// Both constraints hold at once: the operator can neither
+			// process what arrives nor receive what upstream emits. The
+			// compute verdict must win (its fix also frees the input path).
+			name:        "simultaneous compute and network constraint",
+			sample:      OperatorSample{ProcessingRate: 40, ArrivalRate: 80},
+			upstreamOut: 200,
+			want:        ComputeConstrained,
+		},
+		{
+			// Idle upstream: nothing is flowing, nothing is wrong.
+			name:        "zero upstream output",
+			sample:      OperatorSample{},
+			upstreamOut: 0,
+			want:        Healthy,
+		},
+		{
+			// Idle upstream but the operator still throttles: residual
+			// backlog from a burst; compute-constrained, not healthy.
+			name:        "zero upstream output with backpressure",
+			sample:      OperatorSample{Backpressure: true},
+			upstreamOut: 0,
+			want:        ComputeConstrained,
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -144,18 +168,27 @@ func TestScaleFactor(t *testing.T) {
 		expectedIn, procRate float64
 		p, want              int
 	}{
-		{2000, 1000, 1, 2}, // double workload → p'=2
-		{1500, 1000, 2, 3}, // λ̂I/λP=1.5 × p=2 → 3
-		{1000, 1000, 2, 2}, // balanced → unchanged
-		{500, 1000, 2, 2},  // underloaded → never shrinks below p
-		{1001, 1000, 1, 2}, // slight overload rounds up
-		{1000, 0, 3, 4},    // no throughput signal → probe upward
+		{2000, 1000, 1, 2},               // double workload → p'=2
+		{1500, 1000, 2, 3},               // λ̂I/λP=1.5 × p=2 → 3
+		{1000, 1000, 2, 2},               // balanced → unchanged
+		{500, 1000, 2, 2},                // underloaded → never shrinks below p
+		{1001, 1000, 1, 2},               // slight overload rounds up
+		{1000, 0, 3, 4},                  // no throughput signal → probe upward
+		{3000, 1000, 3, 9},               // exact ratio: no spurious round-up
+		{1e19, 1, 1, maxParallelism},     // huge ratio clamps, not overflows
+		{1e300, 1e-3, 2, maxParallelism}, // quotient beyond int64 range
 	}
 	for _, tt := range tests {
 		if got := ScaleFactor(tt.expectedIn, tt.procRate, tt.p); got != tt.want {
 			t.Fatalf("ScaleFactor(%v,%v,%d) = %d, want %d",
 				tt.expectedIn, tt.procRate, tt.p, got, tt.want)
 		}
+	}
+	// The old int64 round-trip turned quotients past MaxInt64 into huge
+	// negative parallelism on amd64; any non-positive result is a
+	// regression regardless of platform.
+	if got := ScaleFactor(1e19, 1, 1); got < 1 {
+		t.Fatalf("ScaleFactor(1e19,1,1) = %d, want positive", got)
 	}
 }
 

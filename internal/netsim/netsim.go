@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/trace"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -83,6 +84,15 @@ type Network struct {
 	flows        map[int]*Flow
 	transfers    map[int]*Transfer
 	nextID       int
+
+	// Optional telemetry (nil = zero overhead). Instrument handles are
+	// cached because Step runs every simulation tick.
+	obs          *obs.Observer
+	telWanBytes  *obs.Counter
+	telBacklog   *obs.Counter
+	telUtil      *obs.Histogram
+	telFlows     *obs.Gauge
+	telTransfers *obs.Gauge
 }
 
 // New creates a Network over the given topology with no dynamics (factor 1
@@ -99,6 +109,28 @@ func New(top *topology.Topology) *Network {
 
 // Topology returns the underlying topology.
 func (n *Network) Topology() *topology.Topology { return n.top }
+
+// SetObserver wires WAN telemetry (bytes moved, queueing backlog, link
+// utilization, active flow/transfer counts) to an observer. A nil
+// observer (the default) keeps Step instrumentation-free.
+func (n *Network) SetObserver(o *obs.Observer) {
+	n.obs = o
+	if o == nil {
+		n.telWanBytes, n.telBacklog, n.telUtil, n.telFlows, n.telTransfers = nil, nil, nil, nil, nil
+		return
+	}
+	r := o.Registry()
+	r.Describe("wasp_wan_bytes_total", "Bytes granted to WAN flows and transfers.")
+	r.Describe("wasp_wan_backlog_bytes_total", "Demanded-but-unallocated bytes (link queueing pressure).")
+	r.Describe("wasp_link_utilization", "Per-link utilization (granted/capacity) sampled every step on links with traffic.")
+	r.Describe("wasp_wan_flows", "Registered stream flows.")
+	r.Describe("wasp_wan_transfers", "In-flight bulk state transfers.")
+	n.telWanBytes = r.Counter("wasp_wan_bytes_total")
+	n.telBacklog = r.Counter("wasp_wan_backlog_bytes_total")
+	n.telUtil = r.Histogram("wasp_link_utilization", []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1})
+	n.telFlows = r.Gauge("wasp_wan_flows")
+	n.telTransfers = r.Gauge("wasp_wan_transfers")
+}
 
 // SetGlobalFactor installs a bandwidth factor trace applied to every
 // inter-site link (intra-site fabric is not modulated). Used for scripted
@@ -233,6 +265,9 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 			}
 		}
 	}
+	if n.obs != nil {
+		n.recordStepTelemetry(byLink, start, dtSec)
+	}
 
 	for _, id := range transferIDs {
 		t := n.transfers[id]
@@ -246,6 +281,47 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 			delete(n.transfers, id)
 		}
 	}
+}
+
+// recordStepTelemetry folds one Step's allocations into the registry.
+// Links are visited in sorted order so float accumulation is identical
+// across same-seed runs (map order must not leak into exports).
+func (n *Network) recordStepTelemetry(byLink map[linkKey][]claimant, start vclock.Time, dtSec float64) {
+	keys := make([]linkKey, 0, len(byLink))
+	for k := range byLink {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	var granted, unmet float64
+	for _, k := range keys {
+		capacity := n.Capacity(k.from, k.to, start)
+		var linkGranted float64
+		for _, c := range byLink[k] {
+			var a float64
+			if c.flow != nil {
+				a = c.flow.allocated
+			} else {
+				a = c.transfer.allocated
+			}
+			linkGranted += a
+			if c.demand > a {
+				unmet += (c.demand - a) * dtSec
+			}
+		}
+		granted += linkGranted * dtSec
+		if capacity > 0 && linkGranted > 0 {
+			n.telUtil.Observe(linkGranted / capacity)
+		}
+	}
+	n.telWanBytes.Add(granted)
+	n.telBacklog.Add(unmet)
+	n.telFlows.Set(float64(len(n.flows)))
+	n.telTransfers.Set(float64(len(n.transfers)))
 }
 
 // sortedKeys returns a map's int keys ascending.

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteAudit renders the trace as a human-readable decision audit: one
+// block per span tree (controller rounds, long-term rounds), with the
+// diagnosis evidence, the rejected Figure-6 branches (✗), the performed
+// actions (✓), and nested migration/re-plan spans indented beneath their
+// parent decision.
+func (o *Observer) WriteAudit(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	children := make(map[uint64][]*Span)
+	for _, e := range o.timeline {
+		if e.span != nil && e.span.Parent != 0 {
+			children[e.span.Parent] = append(children[e.span.Parent], e.span)
+		}
+	}
+	for _, e := range o.timeline {
+		switch {
+		case e.ev != nil:
+			if err := writeAuditEvent(w, *e.ev, 0); err != nil {
+				return err
+			}
+		case e.span != nil && e.span.Parent == 0:
+			if err := writeAuditSpan(w, e.span, children, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func auditIndent(depth int) string {
+	const pad = "                                "
+	n := 2 * depth
+	if n > len(pad) {
+		n = len(pad)
+	}
+	return pad[:n]
+}
+
+func writeAuditSpan(w io.Writer, sp *Span, children map[uint64][]*Span, depth int) error {
+	dur := ""
+	if sp.Ended && sp.End > sp.Start {
+		dur = fmt.Sprintf(" (+%s)", time.Duration(sp.End-sp.Start))
+	} else if !sp.Ended {
+		dur = " (unfinished)"
+	}
+	if _, err := fmt.Fprintf(w, "%st=%7.1fs %s%s%s\n",
+		auditIndent(depth), sp.Start.Seconds(), sp.Name, formatAttrs(sp.Attrs), dur); err != nil {
+		return err
+	}
+	// Interleave the span's events and child spans in time order; events
+	// within one instant keep emission order, and a child span starting at
+	// the same instant as an event follows the events recorded before it.
+	kids := children[sp.ID]
+	ei, ki := 0, 0
+	for ei < len(sp.Events) || ki < len(kids) {
+		takeEvent := ki >= len(kids) ||
+			(ei < len(sp.Events) && sp.Events[ei].At <= kids[ki].Start)
+		if takeEvent {
+			if err := writeAuditEvent(w, sp.Events[ei], depth+1); err != nil {
+				return err
+			}
+			ei++
+			continue
+		}
+		if err := writeAuditSpan(w, kids[ki], children, depth+1); err != nil {
+			return err
+		}
+		ki++
+	}
+	return nil
+}
+
+func writeAuditEvent(w io.Writer, ev Event, depth int) error {
+	switch ev.Name {
+	case "reject":
+		_, err := fmt.Fprintf(w, "%s✗ %s — %s%s\n",
+			auditIndent(depth), ev.Get("branch").Text(), ev.Get("reason").Text(),
+			formatAttrs(dropKeys(ev.Attrs, "branch", "reason")))
+		return err
+	case "action":
+		_, err := fmt.Fprintf(w, "%s✓ %s op=%s: %s\n",
+			auditIndent(depth), ev.Get("kind").Text(), ev.Get("op").Text(), ev.Get("detail").Text())
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s· %s%s\n", auditIndent(depth), ev.Name, formatAttrs(ev.Attrs))
+		return err
+	}
+}
+
+func formatAttrs(attrs []KV) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	out := ""
+	for _, kv := range attrs {
+		out += " " + kv.Key + "=" + kv.Val.Text()
+	}
+	return out
+}
+
+func dropKeys(attrs []KV, keys ...string) []KV {
+	var out []KV
+	for _, kv := range attrs {
+		skip := false
+		for _, k := range keys {
+			if kv.Key == k {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, kv)
+		}
+	}
+	return out
+}
+
+// WriteActionLog prints the adaptation log — every "action" event in the
+// timeline — in the classic waspd format, and reports how many actions it
+// wrote. This is the one code path all runners share for the log.
+func (o *Observer) WriteActionLog(w io.Writer) (int, error) {
+	events := o.Events("action")
+	for _, ev := range events {
+		if _, err := fmt.Fprintf(w, "  t=%5ds %-10s op=%-3s %s\n",
+			int(ev.At.Seconds()), ev.Get("kind").Text(), ev.Get("op").Text(), ev.Get("detail").Text()); err != nil {
+			return 0, err
+		}
+	}
+	return len(events), nil
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// WriteJSONL writes the trace timeline as one JSON object per line, in
+// emission order. Events encode as
+//
+//	{"t":12.5,"type":"event","name":"...","attrs":{...}}
+//
+// and spans (listed at their start position, with their nested events
+// inline) as
+//
+//	{"t":40,"type":"span","id":3,"parent":1,"name":"...","end":40.2,
+//	 "attrs":{...},"events":[{"t":40,"name":"...","attrs":{...}},...]}
+//
+// A span still open at export time has "end":null. Attribute order is the
+// emission order, timestamps are virtual seconds, and floats use the
+// shortest round-trip form — so the same seed yields byte-identical
+// output.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	buf := make([]byte, 0, 512)
+	for _, e := range o.timeline {
+		buf = buf[:0]
+		switch {
+		case e.ev != nil:
+			buf = appendEventJSON(buf, *e.ev, true)
+		case e.span != nil:
+			buf = appendSpanJSON(buf, e.span)
+		default:
+			continue
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendTime(b []byte, t vclock.Time) []byte {
+	return appendJSONFloat(b, t.Seconds())
+}
+
+func appendAttrsJSON(b []byte, attrs []KV) []byte {
+	b = append(b, '{')
+	for i, kv := range attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, kv.Key)
+		b = append(b, ':')
+		b = kv.Val.appendJSON(b)
+	}
+	return append(b, '}')
+}
+
+func appendEventJSON(b []byte, ev Event, topLevel bool) []byte {
+	b = append(b, `{"t":`...)
+	b = appendTime(b, ev.At)
+	if topLevel {
+		b = append(b, `,"type":"event"`...)
+	}
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, ev.Name)
+	b = append(b, `,"attrs":`...)
+	b = appendAttrsJSON(b, ev.Attrs)
+	return append(b, '}')
+}
+
+func appendSpanJSON(b []byte, sp *Span) []byte {
+	b = append(b, `{"t":`...)
+	b = appendTime(b, sp.Start)
+	b = append(b, `,"type":"span","id":`...)
+	b = strconv.AppendUint(b, sp.ID, 10)
+	b = append(b, `,"parent":`...)
+	b = strconv.AppendUint(b, sp.Parent, 10)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, sp.Name)
+	b = append(b, `,"end":`...)
+	if sp.Ended {
+		b = appendTime(b, sp.End)
+	} else {
+		b = append(b, "null"...)
+	}
+	b = append(b, `,"attrs":`...)
+	b = appendAttrsJSON(b, sp.Attrs)
+	b = append(b, `,"events":[`...)
+	for i, ev := range sp.Events {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendEventJSON(b, ev, false)
+	}
+	return append(b, ']', '}')
+}

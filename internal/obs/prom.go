@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm dumps the registry in the Prometheus text exposition format
+// (one final scrape, suitable for `promtool check metrics` or offline
+// ingestion). Series are sorted by name then labels, so output is
+// deterministic for deterministic inputs.
+func (o *Observer) WriteProm(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return o.reg.WriteProm(w)
+}
+
+// WriteProm writes the registry's instruments in Prometheus text format.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type series struct {
+		name string
+		key  string
+		emit func(io.Writer) error
+	}
+	var all []series
+
+	for key, c := range r.counters {
+		c := c
+		all = append(all, series{name: c.name, key: key, emit: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", c.series, formatFloat(c.v))
+			return err
+		}})
+	}
+	for key, g := range r.gauges {
+		g := g
+		all = append(all, series{name: g.name, key: key, emit: func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "%s %s\n", g.series, formatFloat(g.v))
+			return err
+		}})
+	}
+	for key, h := range r.hists {
+		h := h
+		all = append(all, series{name: h.name, key: key, emit: func(w io.Writer) error {
+			return writePromHistogram(w, h)
+		}})
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].key < all[j].key
+	})
+
+	kinds := make(map[string]string)
+	for _, c := range r.counters {
+		kinds[c.name] = "counter"
+	}
+	for _, g := range r.gauges {
+		kinds[g.name] = "gauge"
+	}
+	for _, h := range r.hists {
+		kinds[h.name] = "histogram"
+	}
+
+	lastName := ""
+	for _, s := range all {
+		if s.name != lastName {
+			lastName = s.name
+			if help, ok := r.help[s.name]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.name, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.name, kinds[s.name]); err != nil {
+				return err
+			}
+		}
+		if err := s.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram writes the cumulative bucket series plus _sum and
+// _count for one histogram series.
+func writePromHistogram(w io.Writer, h *Histogram) error {
+	base, labels := splitSeries(h.series)
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			base, withLabel(labels, "le", formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", base, withLabel(labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, labels, formatFloat(h.sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.count)
+	return err
+}
+
+// splitSeries splits `name{labels}` into name and `{labels}` (labels may
+// be empty).
+func splitSeries(series string) (name, labels string) {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i], series[i:]
+	}
+	return series, ""
+}
+
+// withLabel inserts an extra label into a `{...}` label block (which may
+// be empty).
+func withLabel(labels, k, v string) string {
+	extra := k + "=" + strconv.Quote(v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
