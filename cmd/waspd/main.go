@@ -9,6 +9,8 @@
 //	waspd -query topk -policy wasp -duration 25m \
 //	      -workload 1,2,1,1,1 -bandwidth 1,1,1,0.5,1
 //	waspd -query ysb -policy degrade -fail-at 9m -fail-for 1m
+//	waspd -query topk -policy wasp -checkpoint-every 30s \
+//	      -fault "crash@5m:site=3,for=2m; linkslow@8m:from=0,to=9,factor=0.5,for=1m"
 //	waspd -query topk -policy wasp -obs-out run.jsonl
 //	waspd -query topk -policy wasp -obs-out metrics.prom -obs-format prom
 //	waspd -query topk -policy wasp -v
@@ -20,6 +22,14 @@
 // started). -obs-format selects JSONL events (jsonl), a Prometheus text
 // exposition dump (prom), or the human-readable decision audit (audit);
 // "-" writes to stdout. -v prints the decision audit after the run.
+//
+// -fault injects partial failures from a semicolon-separated script (see
+// the faults package for the DSL): site crash+restart, link
+// blackout/degradation, and site-wide stragglers. -checkpoint-every
+// enables periodic localized checkpointing with replication; on a site
+// crash the controller re-places the dead tasks and restores their state
+// from the freshest surviving replica, so at most one checkpoint interval
+// of state is lost.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"github.com/wasp-stream/wasp/internal/adapt"
 	"github.com/wasp-stream/wasp/internal/experiment"
+	"github.com/wasp-stream/wasp/internal/faults"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/trace"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -51,6 +62,8 @@ type options struct {
 	live      bool
 	failAt    time.Duration
 	failFor   time.Duration
+	faults    string
+	ckptEvery time.Duration
 	obsOut    string
 	obsFormat string
 	verbose   bool
@@ -68,6 +81,8 @@ func main() {
 	flag.BoolVar(&opt.live, "live", false, "use live per-link/per-source variation traces instead of phases")
 	flag.DurationVar(&opt.failAt, "fail-at", 0, "inject a full failure at this time (0 = none)")
 	flag.DurationVar(&opt.failFor, "fail-for", time.Minute, "failure outage length")
+	flag.StringVar(&opt.faults, "fault", "", "partial-fault script, e.g. \"crash@5m:site=3,for=2m; slow@8m:site=1,factor=0.5,for=1m\"")
+	flag.DurationVar(&opt.ckptEvery, "checkpoint-every", 0, "checkpoint interval for crash recovery (0 = no checkpointing)")
 	flag.StringVar(&opt.obsOut, "obs-out", "", "write the observability record to this file (\"-\" = stdout)")
 	flag.StringVar(&opt.obsFormat, "obs-format", "jsonl", "observability output format: jsonl | prom | audit")
 	flag.BoolVar(&opt.verbose, "v", false, "print the decision audit after the run")
@@ -154,6 +169,10 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
+	fs, err := faults.Parse(opt.faults)
+	if err != nil {
+		return fmt.Errorf("-fault: %w", err)
+	}
 
 	// One observer shared by the engine, the network simulator and the
 	// controller: the run's metrics, decision spans and action log all
@@ -189,6 +208,8 @@ func run(opt options) error {
 	if opt.failAt > 0 {
 		sc.FailAt, sc.FailFor = opt.failAt, opt.failFor
 	}
+	sc.Faults = fs
+	sc.CheckpointEvery = opt.ckptEvery
 
 	fmt.Printf("waspd: running %s under policy %s for %v (seed %d)\n", opt.query, policy, opt.duration, opt.seed)
 	res, err := experiment.Run(sc)
@@ -219,6 +240,10 @@ func run(opt options) error {
 
 	fmt.Printf("\nSummary: generated=%.0f delivered=%.0f dropped=%.0f processed=%.1f%%\n",
 		res.Generated, res.Delivered, res.Dropped, res.ProcessedPct)
+	if res.Lost > 0 {
+		fmt.Printf("Crash loss: lost=%.0f restored=%.0f net=%.0f (source-equivalent events)\n",
+			res.Lost, res.Restored, res.Lost-res.Restored)
+	}
 	fmt.Printf("Delay percentiles (s): p50=%s p95=%s p99=%s\n",
 		experiment.Fmt(res.DelayPercentile(0.50)),
 		experiment.Fmt(res.DelayPercentile(0.95)),

@@ -102,6 +102,7 @@ const (
 	ActionScaleOut
 	ActionScaleDown
 	ActionReplan
+	ActionRecover
 )
 
 // String names the action kind.
@@ -117,6 +118,8 @@ func (k ActionKind) String() string {
 		return "scale-down"
 	case ActionReplan:
 		return "re-plan"
+	case ActionRecover:
+		return "recover"
 	default:
 		return fmt.Sprintf("ActionKind(%d)", int(k))
 	}
@@ -235,6 +238,10 @@ type Controller struct {
 	quietRounds    int
 	lastRateFactor float64
 
+	recovery  *RecoveryManager
+	crashedAt map[topology.SiteID]vclock.Time
+	degraded  map[plan.OpID]bool
+
 	obs      *obs.Observer
 	decision *obs.Span
 }
@@ -337,6 +344,9 @@ func (c *Controller) Round(now vclock.Time) {
 	}
 	round := c.obs.StartSpan("controller.round", obs.String("policy", c.cfg.Policy.String()))
 	c.obs.Registry().Counter("wasp_controller_rounds_total").Inc()
+	// Failure recovery first: dead tasks outrank slow ones. This is also
+	// the backstop detector — degraded stages retry here every round.
+	c.RecoverDownSites()
 	wall := c.obs.Wall()
 	var wallStart time.Duration
 	if wall != nil {

@@ -156,6 +156,22 @@ type Engine struct {
 
 	failedUntil vclock.Time
 
+	// Partial-failure state: crashed sites and per-site compute slowdowns
+	// (multiplied with the per-(op,site) stragglers above).
+	downSites      map[topology.SiteID]bool
+	siteStragglers map[topology.SiteID]float64
+
+	// Failure loss accounting in source-equivalent units: events destroyed
+	// by site crashes (wiped queues, window state, outbound send queues,
+	// and source arrivals at down sites), and the portion brought back by
+	// checkpoint restores. Net loss = lost − restored. The *Beyond
+	// counters track the subset already past ingest, which must be
+	// subtracted back out of the goodput "processed" figure.
+	lostSrcEquiv      float64
+	restoredSrcEquiv  float64
+	lostBeyondSrc     float64
+	restoredBeyondSrc float64
+
 	reconfigs []*reconfiguration
 	replan    *pendingReplan
 
@@ -209,6 +225,8 @@ func New(cfg Config, top *topology.Topology, net *netsim.Network, sched *vclock.
 		flows:          make(map[flowKey]*edgeFlow),
 		sourceFactors:  make(map[plan.OpID]*trace.Trace),
 		stragglers:     make(map[groupKey]float64),
+		downSites:      make(map[topology.SiteID]bool),
+		siteStragglers: make(map[topology.SiteID]float64),
 		workloadFactor: trace.Constant(1),
 	}
 }
@@ -237,6 +255,7 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 	r.Describe("wasp_reconfigurations_total", "Stage reconfigurations started.")
 	r.Describe("wasp_replans_total", "Plan switches completed.")
 	r.Describe("wasp_failures_total", "Full-outage failures injected.")
+	r.Describe("wasp_site_crashes_total", "Site crashes injected.")
 	e.tel = engineTel{
 		sinkDelay:  r.Histogram("wasp_sink_delay_seconds", []float64{0.5, 1, 2, 5, 10, 20, 40, 80, 160, 320}),
 		migBytes:   r.Counter("wasp_migration_bytes_total"),
@@ -280,12 +299,17 @@ func (e *Engine) InjectStraggler(op plan.OpID, site topology.SiteID, factor floa
 	e.stragglers[key] = factor
 }
 
-// stragglerFactor returns the capacity factor for a group (1 = healthy).
+// stragglerFactor returns the capacity factor for a group (1 = healthy):
+// the per-(op,site) straggler multiplied by the site-wide one.
 func (e *Engine) stragglerFactor(g *group) float64 {
-	if f, ok := e.stragglers[groupKey{op: g.op.ID, site: g.site}]; ok {
-		return f
+	f := 1.0
+	if v, ok := e.stragglers[groupKey{op: g.op.ID, site: g.site}]; ok {
+		f = v
 	}
-	return 1
+	if v, ok := e.siteStragglers[g.site]; ok {
+		f *= v
+	}
+	return f
 }
 
 // Deploy installs a validated physical plan, building task groups and
@@ -383,12 +407,15 @@ func (e *Engine) tick(now vclock.Time) {
 	failed := now <= e.failedUntil
 
 	// 1. Set flow demands from send queues and destination backpressure.
+	// Flows touching a crashed site carry nothing: a dead sender has no
+	// queue left, and a dead receiver holds the sender's queue in place
+	// (backpressure) until the controller re-homes it.
 	flows := e.sortedFlows()
 	for _, f := range flows {
 		if f.flow == nil {
 			continue
 		}
-		if failed || e.destThrottled(f) {
+		if failed || e.downSites[f.key.fromSite] || e.destThrottled(f) {
 			f.flow.SetDemand(0)
 			continue
 		}
@@ -456,6 +483,9 @@ func (e *Engine) sortedFlows() []*edgeFlow {
 // destThrottled reports whether a flow's destination refuses more input
 // (backpressure).
 func (e *Engine) destThrottled(f *edgeFlow) bool {
+	if e.downSites[f.key.toSite] {
+		return true // destination site crashed; hold the queue
+	}
 	dst, ok := e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
 	if !ok {
 		return true // destination disappeared mid-reconfiguration
@@ -482,6 +512,9 @@ func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
 		}
 		granted := f.flow.Allocated() * dtSec / f.eventBytes
 		if granted <= 0 {
+			continue
+		}
+		if e.downSites[f.key.fromSite] || e.downSites[f.key.toSite] {
 			continue
 		}
 		dst, ok := e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
@@ -520,6 +553,14 @@ func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
 			continue
 		}
 		for _, g := range e.opGroups(id) {
+			if e.downSites[g.site] {
+				// The ingest site is dead: external events keep arriving
+				// (reality does not pause) but nobody is there to accept
+				// them — they are lost, not queued.
+				e.totalGenerated += count
+				e.lostSrcEquiv += count
+				break
+			}
 			g.inQ.push(now, count, 1, true)
 			g.generated += count
 			e.totalGenerated += count
@@ -530,6 +571,9 @@ func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
 
 // processGroup runs one task group for one tick.
 func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed bool) {
+	if e.downSites[g.site] {
+		return
+	}
 	if g.op.Kind == plan.KindSink {
 		// Sinks consume instantly; record delivery delay. Deliveries are
 		// weighted by source-equivalents so that delay statistics weight
@@ -677,7 +721,13 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 				continue
 			}
 			if site == g.site {
-				dst := e.groups[groupKey{op: downID, site: site}]
+				dst, ok := e.groups[groupKey{op: downID, site: site}]
+				if !ok {
+					// The destination group vanished (crash teardown racing
+					// a window fire): the events die with it.
+					e.lostSrcEquiv += n * worth
+					continue
+				}
 				dst.inQ.push(born, n, worth, raw)
 				dst.arrived += n
 				if e.frontOps[g.op.ID] {

@@ -60,9 +60,10 @@ func (q *cohortQueue) len() float64 { return q.total }
 func (q *cohortQueue) empty() bool { return q.total <= 1e-9 }
 
 // oldestBorn returns the generation time of the head cohort, or ok=false
-// when empty.
+// when empty. The head-bound check guards against float residue in total
+// making empty() disagree with the item slice.
 func (q *cohortQueue) oldestBorn() (vclock.Time, bool) {
-	if q.empty() {
+	if q.empty() || q.head >= len(q.items) {
 		return 0, false
 	}
 	return q.items[q.head].born, true
@@ -87,9 +88,7 @@ func (q *cohortQueue) pop(n float64) []cohort {
 		n = 0
 	}
 	q.compact()
-	if q.total < 1e-9 {
-		q.total = 0
-	}
+	q.resync()
 	return out
 }
 
@@ -103,16 +102,35 @@ func (q *cohortQueue) popHead() (cohort, bool) {
 	c := q.items[q.head]
 	q.head++
 	q.total -= c.count
-	if q.total < 1e-9 {
-		q.total = 0
-	}
 	q.compact()
+	q.resync()
 	return c, true
 }
 
-// popAll drains the queue.
+// popAll drains the queue exactly, returning every remaining cohort. It
+// iterates the item slice rather than popping by count so accumulated
+// float error in total can never leave cohorts behind.
 func (q *cohortQueue) popAll() []cohort {
-	return q.pop(q.total + 1)
+	var out []cohort
+	for i := q.head; i < len(q.items); i++ {
+		out = append(out, q.items[i])
+	}
+	q.items = q.items[:0]
+	q.head = 0
+	q.total = 0
+	return out
+}
+
+// resync re-establishes the invariant that total is the sum of the live
+// items. Repeated fractional pops accumulate floating-point error in
+// total; on a large queue the residue can exceed the 1e-9 epsilon even
+// when every cohort has been consumed, making empty() report non-empty
+// while head == len(items) — and oldestBorn index out of range. When the
+// item slice is drained, total is exactly zero by construction.
+func (q *cohortQueue) resync() {
+	if q.head >= len(q.items) || q.total < 1e-9 {
+		q.total = 0
+	}
 }
 
 // compact reclaims consumed head space once it dominates the backing

@@ -128,6 +128,39 @@ func TestQueueCompaction(t *testing.T) {
 	}
 }
 
+// Regression: repeated fractional pops accumulate floating-point error in
+// total. On a large queue the residue can exceed the 1e-9 epsilon once
+// every cohort is consumed, so empty() used to report non-empty with
+// head == len(items) — and oldestBorn indexed out of range.
+func TestQueueFractionalPopDrift(t *testing.T) {
+	// Many small cohorts popped in uneven fractions: the additions into
+	// total round differently than the mixed whole-cohort/fractional
+	// subtractions out of it, so after full drainage the old code left
+	// total ≈ 1.8e-7 with head == len(items). The invariant
+	// total == sum(items) must be restored exactly.
+	var q cohortQueue
+	for i := 0; i < 5000; i++ {
+		q.push(at(time.Duration(i)*time.Millisecond), 1000.1, 1, true)
+	}
+	for i := 1; q.head < len(q.items); i++ {
+		q.pop(333.000000301 * float64(i%7+1) / 3)
+	}
+	if !q.empty() {
+		t.Fatalf("drained queue not empty: total=%v", q.total)
+	}
+	if _, ok := q.oldestBorn(); ok {
+		t.Fatal("oldestBorn on drained queue returned ok")
+	}
+	// The queue must remain usable after the resync.
+	q.push(at(time.Hour), 5, 2, false)
+	if q.len() != 5 {
+		t.Fatalf("len after reuse = %v", q.len())
+	}
+	if born, ok := q.oldestBorn(); !ok || born != at(time.Hour) {
+		t.Fatalf("oldestBorn after reuse = %v, %v", born, ok)
+	}
+}
+
 // Property: count and source-equivalents (count×worth) are conserved by
 // any sequence of pushes and pops.
 func TestQueueConservationProperty(t *testing.T) {

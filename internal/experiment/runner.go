@@ -6,6 +6,7 @@ import (
 
 	"github.com/wasp-stream/wasp/internal/adapt"
 	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/faults"
 	"github.com/wasp-stream/wasp/internal/netsim"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
@@ -51,6 +52,17 @@ type Scenario struct {
 	// FailFor disables.
 	FailAt  time.Duration
 	FailFor time.Duration
+
+	// Faults injects partial failures — site crash+restart, link
+	// blackout/degradation, site-wide stragglers — at scripted times.
+	Faults []faults.Fault
+	// FaultsFor computes additional faults once the initial plan is known,
+	// e.g. to crash whichever site hosts the stateful aggregate.
+	FaultsFor func(*physical.Plan, *topology.Topology) []faults.Fault
+	// CheckpointEvery enables localized checkpointing with replication at
+	// this period, plus checkpoint-driven recovery on site crashes. Zero
+	// disables: crashed tasks restart empty and their state is lost.
+	CheckpointEvery time.Duration
 
 	// SampleEvery sets the series bucket width (default 20 s).
 	SampleEvery time.Duration
@@ -103,6 +115,9 @@ type Result struct {
 	// ProcessedPct is the percentage of generated events fully processed
 	// past ingest by the end of the run (Fig 12a).
 	ProcessedPct float64
+	// Lost/Restored account crash-lost source-equivalent events and the
+	// share clawed back from checkpoints.
+	Lost, Restored float64
 	// Actions is the adaptation log.
 	Actions []adapt.Action
 	// Obs is the run's observer (the scenario's, or the controller's
@@ -190,6 +205,24 @@ func Run(s Scenario) (*Result, error) {
 		})
 	}
 
+	if sc.CheckpointEvery > 0 {
+		rm := adapt.NewRecoveryManager(q.Name, sc.CheckpointEvery, eng, top, sched, nil)
+		ctl.AttachRecovery(rm)
+		rm.Start()
+		defer rm.Stop()
+	}
+	fs := append([]faults.Fault(nil), sc.Faults...)
+	if sc.FaultsFor != nil {
+		fs = append(fs, sc.FaultsFor(best.Plan, top)...)
+	}
+	if len(fs) > 0 {
+		inj := faults.NewInjector(eng, net, ctl.Observer())
+		inj.SetRecoverer(ctl)
+		if err := inj.Schedule(sched, fs); err != nil {
+			return nil, fmt.Errorf("faults %s: %w", q.Name, err)
+		}
+	}
+
 	res := &Result{Name: sc.Name, InitialTasks: best.Plan.TotalTasks()}
 	var lastGen, lastProcessed float64
 
@@ -231,6 +264,7 @@ func Run(s Scenario) (*Result, error) {
 	} else {
 		res.ProcessedPct = 100
 	}
+	res.Lost, res.Restored = eng.Lost()
 	res.Actions = ctl.Actions()
 	res.Obs = ctl.Observer()
 	return res, nil

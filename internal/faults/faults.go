@@ -1,0 +1,345 @@
+// Package faults models partial failures of the wide-area deployment
+// (§8.6): site crashes with restart, WAN link blackouts and degradations,
+// and site-wide stragglers. A Fault is a declarative description; the
+// Injector schedules faults on the virtual clock, applies them to the
+// engine and the network simulator, and notifies a Recoverer (the adapt
+// controller) so checkpoint-driven recovery can begin. The package also
+// parses the waspd -fault flag DSL, e.g.
+//
+//	crash@300s:site=3,for=120s
+//	slow@200s:site=2,factor=0.25,for=400s
+//	linkdown@100s:from=1,to=3,for=60s
+//	linkslow@100s:from=1,to=3,factor=0.5
+//
+// Multiple faults are separated by semicolons. "for" schedules the heal
+// (site restart, link repair, straggler recovery); without it the fault
+// is permanent.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/obs"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+// Kind enumerates the fault types.
+type Kind int
+
+const (
+	// SiteCrash kills a site: every task group on it is lost and must be
+	// recovered from checkpoints elsewhere. "for" restarts the site
+	// (empty) after the outage.
+	SiteCrash Kind = iota
+	// SiteSlow degrades a site's compute capacity to Factor — a
+	// straggler affecting every task group on the site.
+	SiteSlow
+	// LinkDown blacks out the directed From→To WAN link.
+	LinkDown
+	// LinkSlow degrades the directed From→To WAN link to Factor of its
+	// trace-driven capacity.
+	LinkSlow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SiteCrash:
+		return "crash"
+	case SiteSlow:
+		return "slow"
+	case LinkDown:
+		return "linkdown"
+	case LinkSlow:
+		return "linkslow"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one scheduled failure.
+type Fault struct {
+	Kind Kind
+	// At is when the fault strikes (virtual time).
+	At time.Duration
+	// For, when positive, heals the fault after this long: site restart,
+	// link repair, straggler recovery. Zero means permanent.
+	For time.Duration
+	// Site is the victim of SiteCrash/SiteSlow.
+	Site topology.SiteID
+	// From/To name the directed link of LinkDown/LinkSlow.
+	From, To topology.SiteID
+	// Factor is the capacity fraction for SiteSlow/LinkSlow (0 < f < 1).
+	Factor float64
+}
+
+// String renders the fault in the DSL syntax it parses from.
+func (f Fault) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s:", f.Kind, f.At)
+	switch f.Kind {
+	case SiteCrash:
+		fmt.Fprintf(&b, "site=%d", int(f.Site))
+	case SiteSlow:
+		fmt.Fprintf(&b, "site=%d,factor=%g", int(f.Site), f.Factor)
+	case LinkDown:
+		fmt.Fprintf(&b, "from=%d,to=%d", int(f.From), int(f.To))
+	case LinkSlow:
+		fmt.Fprintf(&b, "from=%d,to=%d,factor=%g", int(f.From), int(f.To), f.Factor)
+	}
+	if f.For > 0 {
+		fmt.Fprintf(&b, ",for=%s", f.For)
+	}
+	return b.String()
+}
+
+// Validate checks the fault's parameters.
+func (f Fault) Validate() error {
+	if f.At < 0 {
+		return fmt.Errorf("faults: %s: negative injection time", f.Kind)
+	}
+	if f.For < 0 {
+		return fmt.Errorf("faults: %s: negative duration", f.Kind)
+	}
+	switch f.Kind {
+	case SiteCrash:
+	case SiteSlow:
+		if f.Factor <= 0 || f.Factor >= 1 {
+			return fmt.Errorf("faults: slow factor %g not in (0,1)", f.Factor)
+		}
+	case LinkDown:
+		if f.From == f.To {
+			return fmt.Errorf("faults: linkdown from=to=%d", int(f.From))
+		}
+	case LinkSlow:
+		if f.From == f.To {
+			return fmt.Errorf("faults: linkslow from=to=%d", int(f.From))
+		}
+		if f.Factor <= 0 || f.Factor >= 1 {
+			return fmt.Errorf("faults: linkslow factor %g not in (0,1)", f.Factor)
+		}
+	default:
+		return fmt.Errorf("faults: unknown kind %d", int(f.Kind))
+	}
+	return nil
+}
+
+// sites lists every site the fault references, for topology range checks.
+func (f Fault) sites() []topology.SiteID {
+	switch f.Kind {
+	case SiteCrash, SiteSlow:
+		return []topology.SiteID{f.Site}
+	case LinkDown, LinkSlow:
+		return []topology.SiteID{f.From, f.To}
+	}
+	return nil
+}
+
+// Recoverer reacts to detected failures — the adapt controller implements
+// it to run checkpoint-driven recovery.
+type Recoverer interface {
+	// OnSiteCrash is invoked when a site crash is detected. The engine
+	// has already torn the site down; the recoverer's job is to re-place
+	// the dead tasks and restore their state.
+	OnSiteCrash(site topology.SiteID)
+}
+
+// Injector applies scheduled faults to a deployment.
+type Injector struct {
+	eng *engine.Engine
+	net *netsim.Network
+	rec Recoverer
+	obs *obs.Observer
+}
+
+// NewInjector creates an injector for one engine/network pair. The
+// observer may be nil.
+func NewInjector(eng *engine.Engine, net *netsim.Network, o *obs.Observer) *Injector {
+	return &Injector{eng: eng, net: net, obs: o}
+}
+
+// SetRecoverer wires failure detection to a recoverer. Without one,
+// crashes strike but nothing heals the placement (the no-recovery
+// baseline).
+func (in *Injector) SetRecoverer(r Recoverer) { in.rec = r }
+
+// Schedule validates the fault script and arms every fault (and its heal)
+// on the scheduler. Faults are armed in a deterministic order: by
+// injection time, then by script position.
+func (in *Injector) Schedule(sched *vclock.Scheduler, fs []Fault) error {
+	n := in.net.Topology().N()
+	for _, f := range fs {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		for _, s := range f.sites() {
+			if int(s) < 0 || int(s) >= n {
+				return fmt.Errorf("faults: %s: site %d outside the topology [0,%d)", f.Kind, int(s), n)
+			}
+		}
+	}
+	ordered := make([]Fault, len(fs))
+	copy(ordered, fs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	for _, f := range ordered {
+		f := f
+		sched.At(vclock.Time(f.At), func(now vclock.Time) { in.apply(f, now) })
+		if f.For > 0 {
+			sched.At(vclock.Time(f.At+f.For), func(now vclock.Time) { in.heal(f, now) })
+		}
+	}
+	return nil
+}
+
+// apply strikes one fault.
+func (in *Injector) apply(f Fault, now vclock.Time) {
+	if in.obs != nil {
+		in.obs.Emit("fault.inject",
+			obs.String("kind", f.Kind.String()),
+			obs.String("spec", f.String()))
+	}
+	switch f.Kind {
+	case SiteCrash:
+		in.eng.CrashSite(f.Site)
+		if in.rec != nil {
+			in.rec.OnSiteCrash(f.Site)
+		}
+	case SiteSlow:
+		in.eng.SetSiteStraggler(f.Site, f.Factor)
+	case LinkDown:
+		in.net.SetLinkFault(f.From, f.To, 0)
+	case LinkSlow:
+		in.net.SetLinkFault(f.From, f.To, f.Factor)
+	}
+}
+
+// heal reverses one fault at the end of its For window.
+func (in *Injector) heal(f Fault, now vclock.Time) {
+	if in.obs != nil {
+		in.obs.Emit("fault.heal",
+			obs.String("kind", f.Kind.String()),
+			obs.String("spec", f.String()))
+	}
+	switch f.Kind {
+	case SiteCrash:
+		in.eng.RestoreSite(f.Site)
+	case SiteSlow:
+		in.eng.SetSiteStraggler(f.Site, 1)
+	case LinkDown, LinkSlow:
+		in.net.ClearLinkFault(f.From, f.To)
+	}
+}
+
+// Parse reads a semicolon-separated fault script in the DSL documented at
+// the top of the package.
+func Parse(s string) ([]Fault, error) {
+	var out []Fault
+	for i, tok := range strings.Split(s, ";") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		f, err := parseOne(tok)
+		if err != nil {
+			return nil, fmt.Errorf("fault %d %q: %w", i+1, tok, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// parseOne reads one `kind@at[:key=val,...]` clause.
+func parseOne(s string) (Fault, error) {
+	head, params, _ := strings.Cut(s, ":")
+	kindStr, atStr, ok := strings.Cut(head, "@")
+	if !ok {
+		return Fault{}, fmt.Errorf("missing @time (want kind@time:params)")
+	}
+	var f Fault
+	switch strings.ToLower(strings.TrimSpace(kindStr)) {
+	case "crash":
+		f.Kind = SiteCrash
+	case "slow", "straggle", "straggler":
+		f.Kind = SiteSlow
+	case "linkdown", "blackout":
+		f.Kind = LinkDown
+	case "linkslow":
+		f.Kind = LinkSlow
+	default:
+		return Fault{}, fmt.Errorf("unknown fault kind %q", kindStr)
+	}
+	at, err := time.ParseDuration(strings.TrimSpace(atStr))
+	if err != nil {
+		return Fault{}, fmt.Errorf("bad time %q: %v", atStr, err)
+	}
+	f.At = at
+
+	seen := make(map[string]bool)
+	if params != "" {
+		for _, kv := range strings.Split(params, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Fault{}, fmt.Errorf("bad parameter %q (want key=value)", kv)
+			}
+			key, val = strings.TrimSpace(strings.ToLower(key)), strings.TrimSpace(val)
+			if seen[key] {
+				return Fault{}, fmt.Errorf("duplicate parameter %q", key)
+			}
+			seen[key] = true
+			switch key {
+			case "site":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad site %q", val)
+				}
+				f.Site = topology.SiteID(n)
+			case "from":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad from %q", val)
+				}
+				f.From = topology.SiteID(n)
+			case "to":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad to %q", val)
+				}
+				f.To = topology.SiteID(n)
+			case "factor":
+				x, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad factor %q", val)
+				}
+				f.Factor = x
+			case "for":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad duration %q", val)
+				}
+				f.For = d
+			default:
+				return Fault{}, fmt.Errorf("unknown parameter %q", key)
+			}
+		}
+	}
+	// Required parameters per kind.
+	switch f.Kind {
+	case SiteCrash, SiteSlow:
+		if !seen["site"] {
+			return Fault{}, fmt.Errorf("%s requires site=", f.Kind)
+		}
+	case LinkDown, LinkSlow:
+		if !seen["from"] || !seen["to"] {
+			return Fault{}, fmt.Errorf("%s requires from= and to=", f.Kind)
+		}
+	}
+	if (f.Kind == SiteSlow || f.Kind == LinkSlow) && !seen["factor"] {
+		return Fault{}, fmt.Errorf("%s requires factor=", f.Kind)
+	}
+	return f, f.Validate()
+}

@@ -1,0 +1,224 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/netsim"
+	"github.com/wasp-stream/wasp/internal/physical"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+func TestParseScript(t *testing.T) {
+	fs, err := Parse("crash@300s:site=3,for=120s; linkdown@100s:from=1,to=3,for=60s;slow@200s:site=2,factor=0.25 ; linkslow@50s:from=0,to=2,factor=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: SiteCrash, At: 300 * time.Second, For: 120 * time.Second, Site: 3},
+		{Kind: LinkDown, At: 100 * time.Second, For: 60 * time.Second, From: 1, To: 3},
+		{Kind: SiteSlow, At: 200 * time.Second, Site: 2, Factor: 0.25},
+		{Kind: LinkSlow, At: 50 * time.Second, From: 0, To: 2, Factor: 0.5},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(fs), len(want))
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, fs[i], want[i])
+		}
+	}
+}
+
+func TestParseRoundTripsThroughString(t *testing.T) {
+	in := []Fault{
+		{Kind: SiteCrash, At: 5 * time.Minute, For: 2 * time.Minute, Site: 7},
+		{Kind: SiteSlow, At: 10 * time.Second, Site: 1, Factor: 0.125},
+		{Kind: LinkDown, At: 0, From: 2, To: 4},
+		{Kind: LinkSlow, At: time.Hour, For: time.Minute, From: 4, To: 2, Factor: 0.75},
+	}
+	var specs []string
+	for _, f := range in {
+		specs = append(specs, f.String())
+	}
+	out, err := Parse(strings.Join(specs, ";"))
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", strings.Join(specs, ";"), err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("round trip %q -> %+v, want %+v", specs[i], out[i], in[i])
+		}
+	}
+}
+
+func TestParseRejectsBadScripts(t *testing.T) {
+	bad := []string{
+		"crash:site=3",                      // no @time
+		"melt@10s:site=1",                   // unknown kind
+		"crash@abc:site=1",                  // bad time
+		"crash@10s",                         // missing site
+		"crash@10s:sight=1",                 // unknown key
+		"crash@10s:site=x",                  // bad site
+		"crash@10s:site=1,site=2",           // duplicate key
+		"crash@10s:site=1,for=-5s",          // negative duration
+		"slow@10s:site=1",                   // missing factor
+		"slow@10s:site=1,factor=1.5",        // factor out of range
+		"linkdown@10s:from=1",               // missing to
+		"linkdown@10s:from=1,to=1",          // self link
+		"linkslow@10s:from=1,to=2",          // missing factor
+		"linkslow@10s:from=1,to=2,factor=0", // factor out of range
+		"crash@10s:site",                    // not key=value
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+	// Empty and all-whitespace scripts are valid no-ops.
+	for _, s := range []string{"", " ; ;"} {
+		fs, err := Parse(s)
+		if err != nil || len(fs) != 0 {
+			t.Errorf("Parse(%q) = %v, %v; want empty", s, fs, err)
+		}
+	}
+}
+
+// deployRig builds src(site0) → map(site1) → sink(site1) over three
+// 80 Mbps sites, all on the virtual clock.
+func deployRig(t *testing.T) (*engine.Engine, *netsim.Network, *vclock.Scheduler) {
+	t.Helper()
+	g := plan.NewGraph()
+	src := g.AddOperator(plan.Operator{
+		Name: "src", Kind: plan.KindSource, PinnedSite: 0,
+		Selectivity: 1, OutEventBytes: 100, SourceRate: 1000,
+	})
+	mp := g.AddOperator(plan.Operator{
+		Name: "map", Kind: plan.KindMap, Splittable: true,
+		Selectivity: 1, OutEventBytes: 100, CostPerEvent: 1,
+	})
+	snk := g.AddOperator(plan.Operator{Name: "sink", Kind: plan.KindSink, PinnedSite: 1})
+	g.MustConnect(src, mp)
+	g.MustConnect(mp, snk)
+
+	const n = 3
+	sites := make([]topology.Site, n)
+	lat := make([][]time.Duration, n)
+	bw := make([][]topology.Mbps, n)
+	for i := 0; i < n; i++ {
+		sites[i] = topology.Site{ID: topology.SiteID(i), Name: "s", Kind: topology.DataCenter, Slots: 8}
+		lat[i] = make([]time.Duration, n)
+		bw[i] = make([]topology.Mbps, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				bw[i][j] = 100000
+				lat[i][j] = time.Millisecond
+				continue
+			}
+			bw[i][j] = 80
+			lat[i][j] = 40 * time.Millisecond
+		}
+	}
+	top, err := topology.New(sites, lat, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := netsim.New(top)
+	sched := vclock.NewScheduler(nil)
+	eng := engine.New(engine.Config{}, top, net, sched)
+	pp, err := physical.FromLogical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Stages[src].Sites = []topology.SiteID{0}
+	pp.Stages[mp].Sites = []topology.SiteID{1}
+	pp.Stages[snk].Sites = []topology.SiteID{1}
+	if err := eng.Deploy(pp); err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	return eng, net, sched
+}
+
+type recordingRecoverer struct {
+	crashes []topology.SiteID
+}
+
+func (r *recordingRecoverer) OnSiteCrash(s topology.SiteID) { r.crashes = append(r.crashes, s) }
+
+func TestInjectorAppliesAndHealsFaults(t *testing.T) {
+	eng, net, sched := deployRig(t)
+	inj := NewInjector(eng, net, nil)
+	rec := &recordingRecoverer{}
+	inj.SetRecoverer(rec)
+
+	script := "crash@10s:site=1,for=20s; linkslow@5s:from=0,to=1,factor=0.5,for=10s; slow@5s:site=2,factor=0.5,for=10s"
+	fs, err := Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Schedule(sched, fs); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sched.RunUntil(vclock.Time(12 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.SiteDown(1) {
+		t.Fatal("site 1 not down at t=12s")
+	}
+	if len(rec.crashes) != 1 || rec.crashes[0] != 1 {
+		t.Fatalf("recoverer saw crashes %v, want [1]", rec.crashes)
+	}
+	if got := net.Capacity(0, 1, sched.Now()); got != 5e6 {
+		t.Fatalf("degraded 0→1 capacity = %v, want 5e6", got)
+	}
+
+	if err := sched.RunUntil(vclock.Time(16 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Capacity(0, 1, sched.Now()); got != 10e6 {
+		t.Fatalf("healed 0→1 capacity = %v, want 1e7", got)
+	}
+	if !eng.SiteDown(1) {
+		t.Fatal("site 1 healed early")
+	}
+
+	if err := sched.RunUntil(vclock.Time(40 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.SiteDown(1) {
+		t.Fatal("site 1 still down after its restart at t=30s")
+	}
+	if len(rec.crashes) != 1 {
+		t.Fatalf("restart re-notified the recoverer: %v", rec.crashes)
+	}
+}
+
+func TestScheduleRejectsInvalidFault(t *testing.T) {
+	eng, net, sched := deployRig(t)
+	inj := NewInjector(eng, net, nil)
+	err := inj.Schedule(sched, []Fault{{Kind: SiteSlow, At: time.Second, Site: 1, Factor: 2}})
+	if err == nil {
+		t.Fatal("invalid fault scheduled")
+	}
+}
+
+func TestScheduleRejectsSitesOutsideTopology(t *testing.T) {
+	eng, net, sched := deployRig(t)
+	inj := NewInjector(eng, net, nil)
+	for _, f := range []Fault{
+		{Kind: SiteCrash, At: time.Second, Site: 99},
+		{Kind: SiteSlow, At: time.Second, Site: -1, Factor: 0.5},
+		{Kind: LinkDown, At: time.Second, From: 0, To: 3},
+		{Kind: LinkSlow, At: time.Second, From: 7, To: 0, Factor: 0.5},
+	} {
+		if err := inj.Schedule(sched, []Fault{f}); err == nil {
+			t.Errorf("%s: out-of-topology site scheduled", f)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/trace"
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+func TestLinkFaultBlackoutAndDegrade(t *testing.T) {
+	n := New(twoSite(t))
+	f := n.AddFlow(0, 1)
+
+	n.SetLinkFault(0, 1, 0) // blackout
+	if got := n.Capacity(0, 1, 0); got != 0 {
+		t.Fatalf("blacked-out capacity = %v", got)
+	}
+	f.SetDemand(1e6)
+	step(n, vclock.Time(time.Second))
+	if f.Allocated() != 0 {
+		t.Fatalf("flow allocated %v over a blacked-out link", f.Allocated())
+	}
+	// The reverse direction is unaffected.
+	if got := n.Capacity(1, 0, 0); got != 10e6 {
+		t.Fatalf("reverse capacity = %v, want 1e7", got)
+	}
+
+	n.SetLinkFault(0, 1, 0.25) // degradation
+	if got := n.Capacity(0, 1, 0); got != 2.5e6 {
+		t.Fatalf("degraded capacity = %v, want 2.5e6", got)
+	}
+	n.ClearLinkFault(0, 1)
+	if got := n.Capacity(0, 1, 0); got != 10e6 {
+		t.Fatalf("healed capacity = %v, want 1e7", got)
+	}
+	// Clearing twice and clearing an unfaulted link are no-ops.
+	n.ClearLinkFault(0, 1)
+	n.ClearLinkFault(1, 0)
+}
+
+func TestLinkFaultStacksWithDynamicsAndClamps(t *testing.T) {
+	n := New(twoSite(t))
+	n.SetGlobalFactor(trace.Constant(0.5))
+	n.SetLinkFault(0, 1, 0.5)
+	if got := n.Capacity(0, 1, 0); got != 2.5e6 {
+		t.Fatalf("stacked capacity = %v, want 2.5e6", got)
+	}
+	n.SetLinkFault(0, 1, -3) // clamps to blackout
+	if got := n.Capacity(0, 1, 0); got != 0 {
+		t.Fatalf("negative-factor capacity = %v, want 0", got)
+	}
+	n.SetLinkFault(0, 1, 1.5) // ≥ 1 clears
+	if got := n.Capacity(0, 1, 0); got != 5e6 {
+		t.Fatalf("cleared-by-factor capacity = %v, want 5e6", got)
+	}
+}
+
+func TestMaxMinFairShareZeroCapacity(t *testing.T) {
+	cs := []claimant{{demand: 10}, {demand: 20}}
+	for _, c := range maxMinFairShare(0, cs) {
+		if c != 0 {
+			t.Fatalf("allocation on a zero-capacity link: %v", c)
+		}
+	}
+	for _, c := range maxMinFairShare(-5, cs) {
+		if c != 0 {
+			t.Fatalf("allocation on a negative-capacity link: %v", c)
+		}
+	}
+	if got := maxMinFairShare(100, nil); len(got) != 0 {
+		t.Fatalf("allocations for no claimants: %v", got)
+	}
+}
+
+func TestMaxMinFairShareZeroDemandClaimants(t *testing.T) {
+	// Idle claimants must get nothing and their headroom must flow to the
+	// busy ones.
+	cs := []claimant{{demand: 0}, {demand: 90}, {demand: 0}}
+	alloc := maxMinFairShare(60, cs)
+	if alloc[0] != 0 || alloc[2] != 0 {
+		t.Fatalf("idle claimants allocated: %v", alloc)
+	}
+	if alloc[1] != 60 {
+		t.Fatalf("busy claimant got %v of 60", alloc[1])
+	}
+}
+
+func TestMaxMinFairShareDemandTies(t *testing.T) {
+	// Equal demands above the fair share split the capacity exactly
+	// evenly, independent of claimant order.
+	cs := []claimant{{demand: 50}, {demand: 50}, {demand: 50}}
+	alloc := maxMinFairShare(90, cs)
+	for i, a := range alloc {
+		if math.Abs(a-30) > 1e-9 {
+			t.Fatalf("alloc[%d] = %v, want 30", i, a)
+		}
+	}
+	// A tie at exactly the equal share is fully satisfied.
+	cs = []claimant{{demand: 30}, {demand: 30}, {demand: 30}}
+	alloc = maxMinFairShare(90, cs)
+	for i, a := range alloc {
+		if a != 30 {
+			t.Fatalf("alloc[%d] = %v, want 30", i, a)
+		}
+	}
+	// Mixed: the small claimant keeps its demand; the tied big ones split
+	// the rest evenly.
+	cs = []claimant{{demand: 10}, {demand: 100}, {demand: 100}}
+	alloc = maxMinFairShare(90, cs)
+	if alloc[0] != 10 || math.Abs(alloc[1]-40) > 1e-9 || math.Abs(alloc[2]-40) > 1e-9 {
+		t.Fatalf("alloc = %v, want [10 40 40]", alloc)
+	}
+}
+
+// TestTransferEpsilonBoundary pins the completion rule: a transfer is done
+// when remaining ≤ 1e-6 bytes. 2^-20 (≈9.54e-7) and 2^-19 (≈1.91e-6) are
+// exactly representable residues on either side of the boundary — the
+// link moves exactly capacity bytes per 1 s step, so total = cap + 2^-20
+// lands at remaining = 2^-20 after one step with no rounding.
+func TestTransferEpsilonBoundary(t *testing.T) {
+	n := New(twoSite(t)) // 0→1 capacity 1e7 B/s
+	below := n.StartTransfer(0, 1, 1e7+math.Ldexp(1, -20))
+	step(n, vclock.Time(time.Second))
+	if !below.Done() {
+		t.Fatalf("transfer with sub-epsilon residue %v not completed", below.Remaining())
+	}
+	if below.Remaining() != 0 {
+		t.Fatalf("completed transfer Remaining = %v, want 0", below.Remaining())
+	}
+	if below.DoneAt() != vclock.Time(time.Second) {
+		t.Fatalf("DoneAt = %v, want 1s", below.DoneAt())
+	}
+
+	n2 := New(twoSite(t))
+	above := n2.StartTransfer(0, 1, 1e7+math.Ldexp(1, -19))
+	step(n2, vclock.Time(time.Second))
+	if above.Done() {
+		t.Fatal("transfer with super-epsilon residue completed early")
+	}
+	if got, want := above.Remaining(), math.Ldexp(1, -19); got != want {
+		t.Fatalf("Remaining = %v, want exactly %v", got, want)
+	}
+	step(n2, vclock.Time(2*time.Second))
+	if !above.Done() {
+		t.Fatal("residue transfer never completed")
+	}
+	if above.DoneAt() != vclock.Time(2*time.Second) {
+		t.Fatalf("DoneAt = %v, want 2s", above.DoneAt())
+	}
+}

@@ -81,6 +81,7 @@ type Network struct {
 	top          *topology.Topology
 	globalFactor *trace.Trace
 	linkFactors  map[linkKey]*trace.Trace
+	linkFaults   map[linkKey]float64
 	flows        map[int]*Flow
 	transfers    map[int]*Transfer
 	nextID       int
@@ -102,6 +103,7 @@ func New(top *topology.Topology) *Network {
 		top:          top,
 		globalFactor: trace.Constant(1),
 		linkFactors:  make(map[linkKey]*trace.Trace),
+		linkFaults:   make(map[linkKey]float64),
 		flows:        make(map[int]*Flow),
 		transfers:    make(map[int]*Transfer),
 	}
@@ -148,6 +150,35 @@ func (n *Network) SetLinkFactor(from, to topology.SiteID, tr *trace.Trace) {
 	n.linkFactors[linkKey{from, to}] = tr
 }
 
+// SetLinkFault applies an injected fault factor to the from→to link,
+// stacked multiplicatively on the trace-driven dynamics: 0 is a blackout
+// (the link carries nothing until cleared), values in (0, 1) degrade it.
+// Negative factors clamp to 0; a factor ≥ 1 clears the fault.
+func (n *Network) SetLinkFault(from, to topology.SiteID, factor float64) {
+	if factor >= 1 {
+		n.ClearLinkFault(from, to)
+		return
+	}
+	n.linkFaults[linkKey{from, to}] = math.Max(factor, 0)
+	if n.obs != nil {
+		n.obs.Emit("fault.link",
+			obs.Int("from", int(from)), obs.Int("to", int(to)),
+			obs.F64("factor", math.Max(factor, 0)))
+	}
+}
+
+// ClearLinkFault heals an injected link fault.
+func (n *Network) ClearLinkFault(from, to topology.SiteID) {
+	if _, ok := n.linkFaults[linkKey{from, to}]; !ok {
+		return
+	}
+	delete(n.linkFaults, linkKey{from, to})
+	if n.obs != nil {
+		n.obs.Emit("fault.link_healed",
+			obs.Int("from", int(from)), obs.Int("to", int(to)))
+	}
+}
+
 // Capacity returns the from→to link capacity at time now, in bytes/s,
 // after applying dynamics factors.
 func (n *Network) Capacity(from, to topology.SiteID, now vclock.Time) float64 {
@@ -158,6 +189,9 @@ func (n *Network) Capacity(from, to topology.SiteID, now vclock.Time) float64 {
 	f := n.globalFactor.At(now)
 	if lt, ok := n.linkFactors[linkKey{from, to}]; ok {
 		f *= lt.At(now)
+	}
+	if ff, ok := n.linkFaults[linkKey{from, to}]; ok {
+		f *= ff
 	}
 	return base * f
 }

@@ -2,6 +2,7 @@ package state
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -16,6 +17,12 @@ type Target struct {
 	// Site is where the task currently runs; snapshots are stored there
 	// (localized checkpointing, §5).
 	Site topology.SiteID
+	// Replicas lists additional sites the snapshot is copied to in the
+	// same round. Localized checkpointing alone cannot survive the loss
+	// of the task's own site — a replica on an independent site is what
+	// lets recovery restore from a checkpoint not hosted on the failed
+	// site. Empty means strictly local (§5 default).
+	Replicas []topology.SiteID
 	// Snapshot captures the task's current state.
 	Snapshot func() ([]byte, error)
 }
@@ -51,6 +58,17 @@ func NewCoordinator(sched *vclock.Scheduler, store *Store, interval time.Duratio
 	return c
 }
 
+// NewManualCoordinator creates a coordinator with no periodic ticker:
+// checkpoint rounds run only when Checkpoint is called. The recovery
+// manager uses this to own the checkpoint cadence itself.
+func NewManualCoordinator(store *Store, onError func(error)) *Coordinator {
+	return &Coordinator{
+		store:   store,
+		targets: make(map[string]*Target),
+		onError: onError,
+	}
+}
+
 // Register adds (or replaces, keyed by job/operator/task) a checkpoint
 // target.
 func (c *Coordinator) Register(t Target) {
@@ -71,10 +89,19 @@ func (c *Coordinator) Targets() int { return len(c.targets) }
 func (c *Coordinator) Epoch() int64 { return c.epoch }
 
 // Checkpoint runs one checkpoint round immediately, snapshotting every
-// registered target into the store at its current site.
+// registered target into the store at its current site (plus any replica
+// sites). Targets are visited in sorted key order: map iteration order
+// must never leak into onError/Store.Put ordering, or same-seed runs
+// stop being byte-identical.
 func (c *Coordinator) Checkpoint() {
 	c.epoch++
-	for key, t := range c.targets {
+	keys := make([]string, 0, len(c.targets))
+	for key := range c.targets {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		t := c.targets[key]
 		data, err := t.Snapshot()
 		if err != nil {
 			if c.onError != nil {
@@ -82,12 +109,29 @@ func (c *Coordinator) Checkpoint() {
 			}
 			continue
 		}
-		ref := Ref{Job: t.Job, Operator: t.Operator, Task: t.Task, Epoch: c.epoch, Site: t.Site}
-		if err := c.store.Put(ref, data); err != nil && c.onError != nil {
-			c.onError(err)
+		sites := []topology.SiteID{t.Site}
+		for _, r := range t.Replicas {
+			dup := false
+			for _, s := range sites {
+				dup = dup || s == r
+			}
+			if !dup {
+				sites = append(sites, r)
+			}
+		}
+		for _, site := range sites {
+			ref := Ref{Job: t.Job, Operator: t.Operator, Task: t.Task, Epoch: c.epoch, Site: site}
+			if err := c.store.Put(ref, data); err != nil && c.onError != nil {
+				c.onError(err)
+			}
 		}
 	}
 }
 
-// Stop cancels the periodic checkpointing.
-func (c *Coordinator) Stop() { c.ticker.Cancel() }
+// Stop cancels the periodic checkpointing (a no-op for manual
+// coordinators).
+func (c *Coordinator) Stop() {
+	if c.ticker != nil {
+		c.ticker.Cancel()
+	}
+}

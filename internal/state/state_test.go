@@ -32,14 +32,76 @@ func TestStorePutLatest(t *testing.T) {
 
 func TestStoreEpochMonotonic(t *testing.T) {
 	s := NewStore()
-	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5}, nil); err != nil {
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5, Site: 1}, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5}, nil); err == nil {
-		t.Fatal("duplicate epoch accepted")
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5, Site: 1}, nil); err == nil {
+		t.Fatal("duplicate epoch at same site accepted")
 	}
-	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 4}, nil); err == nil {
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 4, Site: 2}, nil); err == nil {
 		t.Fatal("regressing epoch accepted")
+	}
+	// Replication: the same epoch at a different site is a replica copy.
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5, Site: 2}, nil); err != nil {
+		t.Fatalf("replica put rejected: %v", err)
+	}
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 5, Site: 1}, nil); err == nil {
+		t.Fatal("re-put of replicated epoch at original site accepted")
+	}
+	if err := s.Put(Ref{Job: "j", Operator: "op", Epoch: 6, Site: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreLatestExcluding(t *testing.T) {
+	s := NewStore()
+	mustPut := func(epoch int64, site int, v string) {
+		t.Helper()
+		if err := s.Put(Ref{Job: "j", Operator: "op", Task: 2, Epoch: epoch, Site: topoSite(site)}, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(1, 0, "e1@0")
+	mustPut(2, 0, "e2@0")
+	mustPut(2, 4, "e2@4") // replica of epoch 2
+	mustPut(3, 0, "e3@0")
+
+	// Site 0 dies: the freshest surviving copy is epoch 2's replica at 4.
+	ref, data, ok := s.LatestExcluding("j", "op", 2, 0)
+	if !ok || string(data) != "e2@4" || ref.Epoch != 2 || ref.Site != 4 {
+		t.Fatalf("LatestExcluding(0) = (%+v, %q, %v)", ref, data, ok)
+	}
+	// No exclusions behaves like Latest.
+	ref, _, ok = s.LatestExcluding("j", "op", 2)
+	if !ok || ref.Epoch != 3 || ref.Site != 0 {
+		t.Fatalf("LatestExcluding() = (%+v, %v)", ref, ok)
+	}
+	// Multiple exclusions.
+	if _, _, ok := s.LatestExcluding("j", "op", 2, 0, 4); ok {
+		t.Fatal("LatestExcluding(0,4) found a copy at an excluded site")
+	}
+}
+
+// The critical recovery case: every copy of the task's state lived on the
+// site that died. Restoring from it would be restoring from nothing —
+// LatestExcluding must say so rather than hand back a dead ref the way
+// Latest does.
+func TestStoreLatestExcludingOnlyCopyOnDeadSite(t *testing.T) {
+	s := NewStore()
+	for e := int64(1); e <= 3; e++ {
+		if err := s.Put(Ref{Job: "j", Operator: "agg", Task: 0, Epoch: e, Site: 5}, []byte{byte(e)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := s.Latest("j", "agg", 0); !ok {
+		t.Fatal("Latest lost the snapshots")
+	}
+	if ref, _, ok := s.LatestExcluding("j", "agg", 0, 5); ok {
+		t.Fatalf("LatestExcluding(5) returned %+v although the only copies were at site 5", ref)
+	}
+	// An unrelated exclusion still finds the copies.
+	if _, _, ok := s.LatestExcluding("j", "agg", 0, 7); !ok {
+		t.Fatal("LatestExcluding(7) missed the site-5 copies")
 	}
 }
 
@@ -184,6 +246,69 @@ func TestCoordinatorReRegisterMovesSite(t *testing.T) {
 		t.Fatalf("latest site = %v, want 5", ref.Site)
 	}
 	c.Stop()
+}
+
+// Regression: Checkpoint used to iterate the targets map directly, so
+// Go's randomized map order leaked into the onError sequence and the
+// Store.Put order — a determinism hole in a repo whose same-seed JSONL
+// is byte-identical by contract. With a failing target in the mix, the
+// error position varied run to run. Rounds must now visit targets in
+// sorted key order every time.
+func TestCoordinatorCheckpointDeterministicOrder(t *testing.T) {
+	run := func() (errs []string, refs []Ref) {
+		store := NewStore()
+		c := NewManualCoordinator(store, func(err error) { errs = append(errs, err.Error()) })
+		for i := 0; i < 8; i++ {
+			i := i
+			tgt := Target{
+				Job: "q", Operator: "op", Task: i, Site: topoSite(i),
+				Snapshot: func() ([]byte, error) { return []byte{byte(i)}, nil },
+			}
+			if i == 2 || i == 6 {
+				tgt.Snapshot = func() ([]byte, error) { return nil, errors.New("disk gone") }
+			}
+			c.Register(tgt)
+		}
+		c.Checkpoint()
+		return errs, store.Refs()
+	}
+
+	wantErrs := []string{
+		"checkpoint q/op/2 epoch 1: disk gone",
+		"checkpoint q/op/6 epoch 1: disk gone",
+	}
+	for trial := 0; trial < 20; trial++ {
+		errs, refs := run()
+		if len(errs) != len(wantErrs) || errs[0] != wantErrs[0] || errs[1] != wantErrs[1] {
+			t.Fatalf("trial %d: error order %v, want %v", trial, errs, wantErrs)
+		}
+		if len(refs) != 6 {
+			t.Fatalf("trial %d: %d refs stored, want 6", trial, len(refs))
+		}
+	}
+}
+
+func TestCoordinatorReplicatesCheckpoints(t *testing.T) {
+	store := NewStore()
+	c := NewManualCoordinator(store, func(err error) { t.Fatal(err) })
+	c.Register(Target{
+		Job: "q", Operator: "agg", Task: 0, Site: 3,
+		Replicas: []topology.SiteID{1, 3}, // the duplicate of site 3 must be skipped
+		Snapshot: func() ([]byte, error) { return []byte("s"), nil },
+	})
+	c.Checkpoint()
+	refs := store.Refs()
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v, want primary + one replica", refs)
+	}
+	if refs[0].Site != 3 || refs[1].Site != 1 || refs[0].Epoch != 1 || refs[1].Epoch != 1 {
+		t.Fatalf("refs = %v", refs)
+	}
+	// The replica is what survives the primary site's death.
+	ref, data, ok := store.LatestExcluding("q", "agg", 0, 3)
+	if !ok || ref.Site != 1 || string(data) != "s" {
+		t.Fatalf("LatestExcluding(3) = (%+v, %q, %v)", ref, data, ok)
+	}
 }
 
 func TestCoordinatorUnregister(t *testing.T) {

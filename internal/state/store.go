@@ -52,14 +52,27 @@ func NewStore() *Store {
 	return &Store{snaps: make(map[string][]entry)}
 }
 
-// Put stores a snapshot. Epochs for a task must be strictly increasing.
+// Put stores a snapshot. Epochs for a task must be non-decreasing; a
+// repeat of the current epoch is allowed only at a site that does not
+// already hold it (checkpoint replication writes the same round to the
+// task's own site and to replica sites).
 func (s *Store) Put(ref Ref, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := ref.taskKey()
 	es := s.snaps[key]
-	if len(es) > 0 && es[len(es)-1].ref.Epoch >= ref.Epoch {
-		return fmt.Errorf("state: epoch %d not after %d for %s", ref.Epoch, es[len(es)-1].ref.Epoch, key)
+	if len(es) > 0 {
+		last := es[len(es)-1].ref
+		if ref.Epoch < last.Epoch {
+			return fmt.Errorf("state: epoch %d not after %d for %s", ref.Epoch, last.Epoch, key)
+		}
+		if ref.Epoch == last.Epoch {
+			for i := len(es) - 1; i >= 0 && es[i].ref.Epoch == ref.Epoch; i-- {
+				if es[i].ref.Site == ref.Site {
+					return fmt.Errorf("state: duplicate epoch %d at site %d for %s", ref.Epoch, ref.Site, key)
+				}
+			}
+		}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -97,6 +110,31 @@ func (s *Store) LatestAt(job, operator string, task int, site topology.SiteID) (
 			copy(out, es[i].data)
 			return es[i].ref, out, true
 		}
+	}
+	return Ref{}, nil, false
+}
+
+// LatestExcluding returns the most recent snapshot for a task that is
+// NOT stored at any of the excluded sites. Recovery after a site crash
+// must use this: Latest/LatestAt would happily return a ref hosted on
+// the dead site, whose bytes are gone with it. ok=false means every
+// surviving copy (if any) was on an excluded site — the task's state is
+// lost and it must restart empty.
+func (s *Store) LatestExcluding(job, operator string, task int, excluded ...topology.SiteID) (Ref, []byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := Ref{Job: job, Operator: operator, Task: task}.taskKey()
+	es := s.snaps[key]
+scan:
+	for i := len(es) - 1; i >= 0; i-- {
+		for _, x := range excluded {
+			if es[i].ref.Site == x {
+				continue scan
+			}
+		}
+		out := make([]byte, len(es[i].data))
+		copy(out, es[i].data)
+		return es[i].ref, out, true
 	}
 	return Ref{}, nil, false
 }
