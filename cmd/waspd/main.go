@@ -180,7 +180,9 @@ func run(opt options) error {
 	// wall clock only feeds the controller-round latency histogram, so
 	// the JSONL timeline stays deterministic for a fixed seed.
 	o := obs.New(func() vclock.Time { return 0 })
+	//waspvet:wallclock run-latency histogram only; never feeds the deterministic JSONL timeline
 	wallStart := time.Now()
+	//waspvet:wallclock measures real controller-round latency against wallStart above
 	o.SetWallClock(func() time.Duration { return time.Since(wallStart) })
 
 	sc := experiment.Scenario{

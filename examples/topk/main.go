@@ -10,9 +10,9 @@ package main
 import (
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/queries"
 	"github.com/wasp-stream/wasp/internal/stream"
 	"github.com/wasp-stream/wasp/internal/workload"
@@ -54,15 +54,11 @@ func run() error {
 		end := time.Duration(e.Time).Truncate(30*time.Second) + 30*time.Second
 		results[winKey{end: end, country: e.Key}] = e.Value.([]stream.TopicCount)
 	}
-	keys := make([]winKey, 0, len(results))
-	for k := range results {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].end != keys[j].end {
-			return keys[i].end < keys[j].end
+	keys := detutil.SortedKeysFunc(results, func(a, b winKey) bool {
+		if a.end != b.end {
+			return a.end < b.end
 		}
-		return keys[i].country < keys[j].country
+		return a.country < b.country
 	})
 
 	lastEnd := time.Duration(-1)

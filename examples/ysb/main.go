@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/queries"
 	"github.com/wasp-stream/wasp/internal/stream"
 	"github.com/wasp-stream/wasp/internal/workload"
@@ -48,11 +49,8 @@ func run() error {
 	for _, e := range out {
 		totals[e.Key] += e.Value.(int64)
 	}
-	keys := make([]string, 0, len(totals))
-	for k := range totals {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return totals[keys[i]] > totals[keys[j]] })
+	keys := detutil.SortedKeys(totals)
+	sort.SliceStable(keys, func(i, j int) bool { return totals[keys[i]] > totals[keys[j]] })
 
 	fmt.Println("\ntop campaigns by counted views (all windows):")
 	for i, k := range keys {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/matching"
 	"github.com/wasp-stream/wasp/internal/metrics"
@@ -631,12 +632,7 @@ func placementDiff(oldSites, newSites []topology.SiteID) (removed, added []topol
 	for _, s := range newSites {
 		counts[s]--
 	}
-	var sites []topology.SiteID
-	for s := range counts {
-		sites = append(sites, s)
-	}
-	sortSites(sites)
-	for _, s := range sites {
+	for _, s := range detutil.SortedKeys(counts) {
 		for i := 0; i < counts[s]; i++ {
 			removed = append(removed, s)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/plan"
@@ -148,17 +149,16 @@ func (rm *RecoveryManager) refreshTargets() {
 			desired[fmt.Sprintf("%s/%d", t.Operator, t.Task)] = t
 		}
 	}
-	for key, t := range rm.registered {
+	for _, key := range detutil.SortedKeys(rm.registered) {
 		if _, ok := desired[key]; !ok {
+			t := rm.registered[key]
 			rm.coord.Unregister(t.Job, t.Operator, t.Task)
 			delete(rm.registered, key)
 		}
 	}
-	// Register in deterministic order (map iteration feeds only Register,
-	// which keys by task — order-insensitive — but keep registered in sync).
-	for key, t := range desired {
-		rm.coord.Register(t)
-		rm.registered[key] = t
+	for _, key := range detutil.SortedKeys(desired) {
+		rm.coord.Register(desired[key])
+		rm.registered[key] = desired[key]
 	}
 }
 

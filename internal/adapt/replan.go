@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/physical"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -99,8 +100,8 @@ func sameTree(a, b *plan.Variant) bool {
 
 func leafSets(v *plan.Variant) []plan.LeafSet {
 	out := make([]plan.LeafSet, 0, len(v.CombineNodes))
-	for _, set := range v.CombineNodes {
-		out = append(out, set)
+	for _, id := range detutil.SortedKeys(v.CombineNodes) {
+		out = append(out, v.CombineNodes[id])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

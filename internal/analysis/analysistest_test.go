@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness: each check has a package under testdata/src/<check>
+// whose files carry `// want "regexp"` comments on the lines where a
+// diagnostic must appear. The harness runs that single analyzer (plus
+// waiver parsing, via Apply) over the fixture package and requires an
+// exact match: every want is hit, every diagnostic is wanted. Waived
+// false positives therefore simply carry no want comment — if the waiver
+// stopped working, the stray diagnostic fails the test.
+
+var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var exps []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("opening fixture: %v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+				pat, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+				}
+				exps = append(exps, &expectation{file: path, line: line, re: pat})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scanning fixture: %v", err)
+		}
+		f.Close()
+	}
+	return exps
+}
+
+func runFixture(t *testing.T, check string) {
+	t.Helper()
+	a, ok := Lookup(check)
+	if !ok {
+		t.Fatalf("no analyzer registered as %q", check)
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", check)
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	exps := parseExpectations(t, dir)
+	if len(exps) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+
+	diags := Apply(pkg.Pass(), []*Analyzer{a})
+	for _, d := range diags {
+		p := d.Position(pkg.Fset)
+		matched := false
+		for _, exp := range exps {
+			if sameFile(exp.file, p.Filename) && exp.line == p.Line && exp.re.MatchString(d.Message) {
+				exp.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", p.Filename, p.Line, d.Check, d.Message)
+		}
+	}
+	for _, exp := range exps {
+		if !exp.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", exp.file, exp.line, exp.re)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return filepath.Base(a) == filepath.Base(b)
+	}
+	return aa == bb
+}
+
+func TestWallclockFixture(t *testing.T)  { runFixture(t, "wallclock") }
+func TestGlobalrandFixture(t *testing.T) { runFixture(t, "globalrand") }
+func TestMaprangeFixture(t *testing.T)   { runFixture(t, "maprange") }
+func TestLocksafeFixture(t *testing.T)   { runFixture(t, "locksafe") }
+func TestLeakygoFixture(t *testing.T)    { runFixture(t, "leakygo") }
+
+// Waiver syntax errors are diagnostics in their own right: a bare tag, an
+// unknown tag, and a reason-less waiver must all be reported.
+func TestWaiverSyntax(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "waiversyntax"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Apply(pkg.Pass(), All())
+	var got []string
+	for _, d := range diags {
+		if d.Check != "waiver" {
+			t.Errorf("unexpected non-waiver diagnostic: %s", d.Message)
+			continue
+		}
+		got = append(got, d.Message)
+	}
+	wants := []string{"unknown check", "requires a reason"}
+	if len(got) != len(wants) {
+		t.Fatalf("got %d waiver diagnostics %v, want %d", len(got), got, len(wants))
+	}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, got[i], w)
+		}
+	}
+}
+
+// A waiver with no tag at all is reported too. gofmt rewrites the bare
+// `//waspvet:` form in checked-in files, so this case parses from a
+// string.
+func TestWaiverMissingTag(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "package p\n\n//waspvet:\nvar x = 1\n"
+	f, err := parser.ParseFile(fset, "bare.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Fset: fset, Files: []*ast.File{f}, PkgPath: "fixture/bare"}
+	diags := Apply(pass, All())
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "missing check tag") {
+		t.Fatalf("got %v, want one missing-check-tag diagnostic", diags)
+	}
+}
+
+// The suite registry must hold exactly the documented five checks.
+func TestRegisteredAnalyzers(t *testing.T) {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	want := []string{"globalrand", "leakygo", "locksafe", "maprange", "wallclock"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("registered analyzers = %v, want %v", names, want)
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalrandAllowed are the math/rand (and v2) package-level functions
+// that do NOT draw from the process-global source: constructors taking
+// an explicit seed/source. Everything else (rand.Intn, rand.Float64,
+// rand.Shuffle, rand.Seed, ...) consumes global state whose sequence
+// depends on what other code ran before — a determinism hazard.
+var globalrandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func init() {
+	Register(&Analyzer{
+		Name: "globalrand",
+		Doc: "flags package-level math/rand calls (rand.Intn, rand.Float64, " +
+			"rand.Seed, ...): randomness must flow through an injected, seeded " +
+			"*rand.Rand so streams replay per-seed",
+		Run: runGlobalrand,
+	})
+}
+
+func runGlobalrand(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || globalrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			if !importedPkg(pass, file, ident, "math/rand", "math/rand/v2") {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   call.Pos(),
+				Check: "globalrand",
+				Message: fmt.Sprintf("rand.%s draws from the global source; plumb a seeded *rand.Rand "+
+					"(rand.New(rand.NewSource(seed))) instead, or waive with //waspvet:globalrand <reason>",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "leakygo",
+		Doc: "flags `go` statements with no visible stop path: the simulator " +
+			"core is single-threaded by design, and any goroutine must select " +
+			"on a stop/done/quit channel or ctx.Done() so Close() can reap it " +
+			"deterministically",
+		Run: runLeakygo,
+	})
+}
+
+func runLeakygo(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, isLit := g.Call.Fun.(*ast.FuncLit)
+			msg := ""
+			switch {
+			case !isLit:
+				msg = "goroutine launches an opaque function; inline a func literal with a " +
+					"stop-channel select, or waive with //waspvet:leakygo <reason>"
+			case !hasStopPath(lit.Body):
+				msg = "goroutine has no visible stop path (no receive from a stop/done/quit " +
+					"channel or ctx.Done()); it cannot be reaped by Close — " +
+					"waive with //waspvet:leakygo <reason> if it provably terminates"
+			}
+			if msg != "" {
+				diags = append(diags, Diagnostic{Pos: g.Pos(), Check: "leakygo", Message: msg})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// stopNames are identifier fragments that mark a shutdown signal.
+var stopNames = []string{"stop", "done", "quit", "close", "ctx", "cancel"}
+
+// hasStopPath reports whether a goroutine body visibly consumes a
+// shutdown signal: a receive (plain, select-case, or range) from a
+// channel whose expression mentions a stop-ish name.
+func hasStopPath(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && stopish(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if stopish(n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func stopish(e ast.Expr) bool {
+	s := strings.ToLower(types.ExprString(e))
+	for _, name := range stopNames {
+		if strings.Contains(s, name) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "locksafe",
+		Doc: "flags sync.Mutex/RWMutex/WaitGroup/Once/Cond copied by value " +
+			"(parameters, receivers, results, plain copies, range values) and " +
+			"Lock/RLock calls with no matching Unlock/RUnlock in the same " +
+			"function body",
+		Run: runLocksafe,
+	})
+}
+
+func runLocksafe(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		diags = append(diags, lockCopies(pass, file)...)
+		diags = append(diags, lockPairs(pass, file)...)
+	}
+	return diags
+}
+
+// containsLock reports whether a value of type t embeds sync lock state
+// that must not be copied.
+func containsLock(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// lockCopies flags by-value lock transfer: parameters, receivers and
+// results of lock-containing type, plain variable-to-variable copies,
+// and range value variables.
+func lockCopies(pass *Pass, file *ast.File) []Diagnostic {
+	if pass.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	flag := func(pos ast.Node, what string, t types.Type) {
+		diags = append(diags, Diagnostic{
+			Pos:   pos.Pos(),
+			Check: "locksafe",
+			Message: fmt.Sprintf("%s copies %s by value (locks must be shared by pointer); "+
+				"waive with //waspvet:locksafe <reason>", what, t.String()),
+		})
+	}
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := pass.Info.TypeOf(f.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.(*types.Pointer); isPtr {
+				continue
+			}
+			if containsLock(t, 0) {
+				flag(f, what, t)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFieldList(n.Recv, "receiver")
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				switch rhs.(type) {
+				case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					t := pass.Info.TypeOf(rhs)
+					if t != nil && containsLock(t, 0) {
+						flag(n, "assignment", t)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				t := pass.Info.TypeOf(n.Value)
+				if t != nil && containsLock(t, 0) {
+					flag(n.Value, "range value", t)
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// lockPairs flags Lock/RLock calls whose receiver has no textual
+// Unlock/RUnlock (deferred or direct) anywhere in the same function
+// body — the classic leaked-lock bug.
+func lockPairs(pass *Pass, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(file, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		type lockCall struct {
+			pos  ast.Node
+			recv string
+			name string
+		}
+		var locks []lockCall
+		unlocked := map[string]bool{} // recv text -> has Unlock / RUnlock
+		ast.Inspect(fn.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				locks = append(locks, lockCall{pos: call, recv: recv, name: sel.Sel.Name})
+			case "Unlock", "RUnlock":
+				unlocked[recv] = true
+			}
+			return true
+		})
+		for _, lc := range locks {
+			if !unlocked[lc.recv] {
+				diags = append(diags, Diagnostic{
+					Pos:   lc.pos.Pos(),
+					Check: "locksafe",
+					Message: fmt.Sprintf("%s.%s() has no matching unlock in %s (leaked lock); "+
+						"defer %s.Unlock() or waive with //waspvet:locksafe <reason>",
+						lc.recv, lc.name, fn.Name.Name, lc.recv),
+				})
+			}
+		}
+		return true
+	})
+	return diags
+}

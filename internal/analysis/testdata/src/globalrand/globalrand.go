@@ -1,0 +1,30 @@
+// Fixture for the globalrand check: package-level math/rand calls are
+// flagged; seeded constructors and calls through an injected *rand.Rand
+// are not.
+package globalrand
+
+import "math/rand"
+
+func badInt() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global source"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the global source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle draws from the global source"
+}
+
+// A deliberate global draw carries a waiver; the check must stay silent.
+func waived() int {
+	//waspvet:globalrand fixture: non-replayed jitter, never observable in output
+	return rand.Intn(10)
+}
+
+// The sanctioned pattern: a seeded source threaded explicitly.
+func fine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

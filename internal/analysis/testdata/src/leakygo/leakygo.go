@@ -1,0 +1,44 @@
+// Fixture for the leakygo check: goroutines without a visible stop path
+// are flagged; stop-channel consumers and waived launches are not.
+package leakygo
+
+func badForever(work chan int, out chan int) {
+	go func() { // want "goroutine has no visible stop path"
+		for w := range work {
+			out <- w * 2
+		}
+	}()
+}
+
+func badOpaque(f func()) {
+	go f() // want "goroutine launches an opaque function"
+}
+
+// A goroutine that provably terminates carries a waiver.
+func waivedOneShot(out chan int) {
+	//waspvet:leakygo fixture: sends once into a buffered channel and returns
+	go func() {
+		out <- 1
+	}()
+}
+
+// The sanctioned pattern: select on a stop channel.
+func fine(work chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Ranging over a done-ish channel also counts as a stop path.
+func fineRange(done chan struct{}) {
+	go func() {
+		for range done {
+		}
+	}()
+}

@@ -1,0 +1,48 @@
+// Fixture for the locksafe check: by-value lock copies and unmatched
+// Lock calls are flagged; pointer sharing and defer-paired locks are not.
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func badParam(mu sync.Mutex) { // want "parameter copies sync.Mutex by value"
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+func badCopy(g *guarded) int {
+	snapshot := *g // want "assignment copies .*guarded by value"
+	return snapshot.n
+}
+
+func badRange(gs map[string]guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies .*guarded by value"
+		total += g.n
+	}
+	return total
+}
+
+func badLeakedLock(g *guarded) int {
+	g.mu.Lock() // want "g.mu.Lock\(\) has no matching unlock in badLeakedLock"
+	return g.n
+}
+
+// Copying before the lock is ever used is legal Go but still a latent
+// bug; a reviewed site carries a waiver and must stay silent.
+func waivedCopy(g *guarded) int {
+	//waspvet:locksafe fixture: value is a pre-use snapshot, lock never shared
+	c := *g
+	return c.n
+}
+
+// The sanctioned patterns: pointers and defer-paired locking.
+func fine(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}

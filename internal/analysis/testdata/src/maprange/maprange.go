@@ -1,0 +1,70 @@
+// Fixture for the maprange check: order-sensitive map-range bodies are
+// flagged; per-key writes, loop-local state, and waived ranges are not.
+package maprange
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to keys declared outside the loop"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates floating-point into sum"
+		sum += v
+	}
+	return sum
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+type holder struct{ last string }
+
+func badFieldWrite(m map[string]int, h *holder) {
+	for k := range m { // want "writes field h.last of a value declared outside the loop"
+		h.last = k
+	}
+}
+
+// Integer accumulation is exactly commutative: no diagnostic.
+func fineIntSum(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Per-key map writes touch each entry once: no diagnostic.
+func fineNormalize(m map[string]float64, n float64) {
+	for k := range m {
+		m[k] /= n
+	}
+}
+
+// Loop-local state is per-iteration: no diagnostic.
+func fineLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var widened []int
+		widened = append(widened, vs...)
+		total += len(widened)
+	}
+	return total
+}
+
+// A sanctioned helper collects keys for sorting under a waiver.
+func waivedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//waspvet:unordered fixture: keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

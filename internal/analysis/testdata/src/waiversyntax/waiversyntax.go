@@ -1,0 +1,14 @@
+// Fixture for waiver syntax validation: an unknown tag and a reason-less
+// waiver each produce a "waiver" diagnostic, while a well-formed waiver
+// does not. (The tag-less form `//waspvet:` is gofmt-unstable, so it is
+// exercised from an in-memory source string in the test instead.)
+package waiversyntax
+
+//waspvet:nosuchcheck because reasons
+var b = 2
+
+//waspvet:wallclock
+var c = 3
+
+//waspvet:wallclock a well-formed waiver with a reason is accepted silently
+var d = 4

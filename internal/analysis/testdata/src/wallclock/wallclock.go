@@ -1,0 +1,33 @@
+// Fixture for the wallclock check: wall-clock reads are flagged, waived
+// sites and pure duration arithmetic are not.
+package wallclock
+
+import "time"
+
+func readsClock() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func sleeps() {
+	time.Sleep(time.Second) // want "time.Sleep reads the wall clock"
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// A deliberate wall-clock site carries a waiver with a reason; the check
+// must stay silent here.
+func waived() time.Time {
+	//waspvet:wallclock fixture: progress logging only, never feeds the timeline
+	return time.Now()
+}
+
+func waivedTrailing() time.Time {
+	return time.Now() //waspvet:wallclock fixture: trailing-comment form
+}
+
+// Pure duration arithmetic never touches the clock.
+func fine() time.Duration {
+	return 3 * time.Second
+}

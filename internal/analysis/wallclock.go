@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// wallclockFuncs are the package time functions that read or depend on
+// the wall clock. Pure value constructors (time.Duration arithmetic,
+// time.Unix on explicit inputs) are fine — the hazard is clock *reads*
+// and wall-clock *scheduling*, which make two same-seed runs diverge.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "Tick": true, "NewTicker": true,
+	"NewTimer": true, "After": true, "AfterFunc": true,
+}
+
+// wallclockExemptSuffixes are package paths allowed to touch the wall
+// clock without a waiver: the virtual clock itself.
+var wallclockExemptSuffixes = []string{"internal/vclock"}
+
+func init() {
+	Register(&Analyzer{
+		Name: "wallclock",
+		Doc: "flags wall-clock reads (time.Now/Since/Sleep/Ticker/...) outside " +
+			"internal/vclock; simulator code must use the virtual clock, and " +
+			"deliberate wall-clock sites (progress logging) carry a " +
+			"//waspvet:wallclock <reason> waiver",
+		Run: runWallclock,
+	})
+}
+
+func runWallclock(pass *Pass) []Diagnostic {
+	for _, suffix := range wallclockExemptSuffixes {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			return nil
+		}
+	}
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if !importedPkg(pass, file, ident, "time") {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   call.Pos(),
+				Check: "wallclock",
+				Message: fmt.Sprintf("time.%s reads the wall clock; use the virtual clock (internal/vclock) "+
+					"or waive with //waspvet:wallclock <reason>", sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -15,9 +15,9 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/netsim"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
@@ -363,7 +363,8 @@ func (e *Engine) Stop() {
 // nothing (fresh deployment).
 func (e *Engine) buildGroups() {
 	e.groups = make(map[groupKey]*group)
-	for id, st := range e.plan.Stages {
+	for _, id := range detutil.SortedKeys(e.plan.Stages) {
+		st := e.plan.Stages[id]
 		for _, site := range st.DistinctSites() {
 			n := 0
 			for _, s := range st.Sites {
@@ -456,28 +457,27 @@ func (e *Engine) tick(now vclock.Time) {
 // queue pushes and network allocations are replay-stable (map iteration
 // order must not leak into event order).
 func (e *Engine) sortedFlows() []*edgeFlow {
-	keys := make([]flowKey, 0, len(e.flows))
-	for k := range e.flows {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.from != b.from {
-			return a.from < b.from
-		}
-		if a.to != b.to {
-			return a.to < b.to
-		}
-		if a.fromSite != b.fromSite {
-			return a.fromSite < b.fromSite
-		}
-		return a.toSite < b.toSite
-	})
+	keys := detutil.SortedKeysFunc(e.flows, flowKeyLess)
 	out := make([]*edgeFlow, len(keys))
 	for i, k := range keys {
 		out[i] = e.flows[k]
 	}
 	return out
+}
+
+// flowKeyLess is the canonical flow ordering: by edge (from, to), then by
+// site pair. Every iteration over the flow map goes through it.
+func flowKeyLess(a, b flowKey) bool {
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	if a.fromSite != b.fromSite {
+		return a.fromSite < b.fromSite
+	}
+	return a.toSite < b.toSite
 }
 
 // destThrottled reports whether a flow's destination refuses more input
@@ -681,14 +681,11 @@ func (e *Engine) failSafeSLO() vclock.Time { return vclock.Time(e.cfg.SLO) }
 // lateness to the emitted cohort (its born time stays the window's max
 // event time, the paper's §8.3 convention).
 func (e *Engine) fireWindows(g *group, now vclock.Time) {
-	var due []vclock.Time
-	for start := range g.windows {
-		if start+vclock.Time(g.op.Window) <= now {
-			due = append(due, start)
-		}
-	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	due := detutil.SortedKeys(g.windows)
 	for _, start := range due {
+		if start+vclock.Time(g.op.Window) > now {
+			continue
+		}
 		w := g.windows[start]
 		g.emitted += w.count
 		e.fanOut(g, w.maxBorn, w.count, w.srcTotal/w.count, false)

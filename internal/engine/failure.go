@@ -4,8 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -81,12 +81,7 @@ func (e *Engine) wipeGroup(g *group) (lost, lostBeyond float64) {
 		}
 	}
 	if g.windows != nil {
-		starts := make([]vclock.Time, 0, len(g.windows))
-		for start := range g.windows {
-			starts = append(starts, start)
-		}
-		sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-		for _, start := range starts {
+		for _, start := range detutil.SortedKeys(g.windows) {
 			lost += g.windows[start].srcTotal
 			if beyond {
 				lostBeyond += g.windows[start].srcTotal
@@ -128,12 +123,7 @@ func (e *Engine) SiteDown(site topology.SiteID) bool { return e.downSites[site] 
 
 // DownSites returns the crashed sites in ascending order.
 func (e *Engine) DownSites() []topology.SiteID {
-	out := make([]topology.SiteID, 0, len(e.downSites))
-	for s := range e.downSites {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detutil.SortedKeys(e.downSites)
 }
 
 // SetSiteStraggler degrades the processing capacity of every task group
@@ -176,11 +166,7 @@ func (e *Engine) SnapshotGroup(op plan.OpID, site topology.SiteID) ([]byte, erro
 	if e.downSites[site] {
 		return nil, fmt.Errorf("engine: site %d is down", site)
 	}
-	starts := make([]vclock.Time, 0, len(g.windows))
-	for start := range g.windows {
-		starts = append(starts, start)
-	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	starts := detutil.SortedKeys(g.windows)
 
 	buf := make([]byte, 0, 1+8+4+len(starts)*32)
 	buf = append(buf, snapshotVersion)

@@ -1,8 +1,7 @@
 package engine
 
 import (
-	"sort"
-
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -59,24 +58,7 @@ func (e *Engine) rebuildFlows() {
 
 	// Carry over or re-home queued cohorts (in deterministic key order),
 	// then release old netsim flows.
-	keys := make([]flowKey, 0, len(old))
-	for k := range old {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.from != b.from {
-			return a.from < b.from
-		}
-		if a.to != b.to {
-			return a.to < b.to
-		}
-		if a.fromSite != b.fromSite {
-			return a.fromSite < b.fromSite
-		}
-		return a.toSite < b.toSite
-	})
-	for _, key := range keys {
+	for _, key := range detutil.SortedKeysFunc(old, flowKeyLess) {
 		of := old[key]
 		if nf, ok := e.flows[key]; ok {
 			nf.q = of.q
@@ -99,12 +81,11 @@ func (e *Engine) rehomeCohorts(key flowKey, q *cohortQueue) {
 	// Same edge, same sender site, any surviving destination (sorted by
 	// destination for determinism).
 	var sameSender []*edgeFlow
-	for k, f := range e.flows {
+	for _, k := range detutil.SortedKeysFunc(e.flows, flowKeyLess) {
 		if k.from == key.from && k.to == key.to && k.fromSite == key.fromSite {
-			sameSender = append(sameSender, f)
+			sameSender = append(sameSender, e.flows[k])
 		}
 	}
-	sort.Slice(sameSender, func(i, j int) bool { return sameSender[i].key.toSite < sameSender[j].key.toSite })
 	if len(sameSender) > 0 {
 		for _, c := range cohorts {
 			per := c.count / float64(len(sameSender))

@@ -3,8 +3,8 @@ package engine
 import (
 	"errors"
 	"fmt"
-	"sort"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/netsim"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/physical"
@@ -321,7 +321,7 @@ func (e *Engine) progressReplan(now vclock.Time) {
 	}
 
 	// Tear down old flows.
-	for _, f := range e.flows {
+	for _, f := range e.sortedFlows() {
 		if f.flow != nil {
 			e.net.RemoveFlow(f.flow)
 		}
@@ -405,12 +405,7 @@ func (e *Engine) drained(carry map[plan.OpID]plan.OpID) bool {
 			if len(g.windows) == 0 {
 				continue
 			}
-			starts := make([]vclock.Time, 0, len(g.windows))
-			for start := range g.windows {
-				starts = append(starts, start)
-			}
-			sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-			for _, start := range starts {
+			for _, start := range detutil.SortedKeys(g.windows) {
 				w := g.windows[start]
 				g.emitted += w.count
 				e.fanOut(g, w.maxBorn, w.count, w.srcTotal/w.count, false)

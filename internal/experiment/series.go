@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
@@ -115,11 +116,7 @@ func Bucketize(samples []WeightedDelay, width vclock.Time) []TimePoint {
 		a.sum += s.Delay * s.Weight
 		a.w += s.Weight
 	}
-	keys := make([]vclock.Time, 0, len(buckets))
-	for k := range buckets {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := detutil.SortedKeys(buckets)
 	out := make([]TimePoint, 0, len(keys))
 	for _, k := range keys {
 		a := buckets[k]

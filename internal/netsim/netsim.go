@@ -15,6 +15,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/trace"
@@ -276,11 +277,11 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 	// Claimants are gathered in ascending-ID order so that fair-share
 	// tie-breaking (and therefore the whole simulation) is deterministic.
 	byLink := make(map[linkKey][]claimant)
-	for _, id := range sortedKeys(n.flows) {
+	for _, id := range detutil.SortedKeys(n.flows) {
 		f := n.flows[id]
 		byLink[linkKey{f.From, f.To}] = append(byLink[linkKey{f.From, f.To}], claimant{demand: f.demand, flow: f})
 	}
-	transferIDs := sortedKeys(n.transfers)
+	transferIDs := detutil.SortedKeys(n.transfers)
 	for _, id := range transferIDs {
 		t := n.transfers[id]
 		// A transfer wants to finish within this step if it can.
@@ -321,15 +322,11 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 // Links are visited in sorted order so float accumulation is identical
 // across same-seed runs (map order must not leak into exports).
 func (n *Network) recordStepTelemetry(byLink map[linkKey][]claimant, start vclock.Time, dtSec float64) {
-	keys := make([]linkKey, 0, len(byLink))
-	for k := range byLink {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].from != keys[j].from {
-			return keys[i].from < keys[j].from
+	keys := detutil.SortedKeysFunc(byLink, func(a, b linkKey) bool {
+		if a.from != b.from {
+			return a.from < b.from
 		}
-		return keys[i].to < keys[j].to
+		return a.to < b.to
 	})
 	var granted, unmet float64
 	for _, k := range keys {
@@ -356,16 +353,6 @@ func (n *Network) recordStepTelemetry(byLink map[linkKey][]claimant, start vcloc
 	n.telBacklog.Add(unmet)
 	n.telFlows.Set(float64(len(n.flows)))
 	n.telTransfers.Set(float64(len(n.transfers)))
-}
-
-// sortedKeys returns a map's int keys ascending.
-func sortedKeys[V any](m map[int]V) []int {
-	keys := make([]int, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	return keys
 }
 
 // maxMinFairShare computes the max-min fair allocation of `capacity` among

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/wasp-stream/wasp/internal/detutil"
 )
 
 // WriteProm dumps the registry in the Prometheus text exposition format
@@ -31,22 +33,22 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	}
 	var all []series
 
-	for key, c := range r.counters {
-		c := c
+	for _, key := range detutil.SortedKeys(r.counters) {
+		c := r.counters[key]
 		all = append(all, series{name: c.name, key: key, emit: func(w io.Writer) error {
 			_, err := fmt.Fprintf(w, "%s %s\n", c.series, formatFloat(c.v))
 			return err
 		}})
 	}
-	for key, g := range r.gauges {
-		g := g
+	for _, key := range detutil.SortedKeys(r.gauges) {
+		g := r.gauges[key]
 		all = append(all, series{name: g.name, key: key, emit: func(w io.Writer) error {
 			_, err := fmt.Fprintf(w, "%s %s\n", g.series, formatFloat(g.v))
 			return err
 		}})
 	}
-	for key, h := range r.hists {
-		h := h
+	for _, key := range detutil.SortedKeys(r.hists) {
+		h := r.hists[key]
 		all = append(all, series{name: h.name, key: key, emit: func(w io.Writer) error {
 			return writePromHistogram(w, h)
 		}})

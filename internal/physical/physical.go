@@ -8,8 +8,8 @@ package physical
 
 import (
 	"fmt"
-	"sort"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/placement"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -51,12 +51,7 @@ func (s *Stage) DistinctSites() []topology.SiteID {
 	for _, site := range s.Sites {
 		seen[site] = true
 	}
-	out := make([]topology.SiteID, 0, len(seen))
-	for site := range seen {
-		out = append(out, site)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return detutil.SortedKeys(seen)
 }
 
 // Plan is a physical plan over a logical graph.
@@ -156,11 +151,7 @@ func (s *Stage) Endpoints() []placement.Endpoint {
 	for _, site := range s.Sites {
 		perSite[site]++
 	}
-	sites := make([]topology.SiteID, 0, len(perSite))
-	for site := range perSite {
-		sites = append(sites, site)
-	}
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	sites := detutil.SortedKeys(perSite)
 	out := make([]placement.Endpoint, 0, len(sites))
 	total := float64(len(s.Sites))
 	for _, site := range sites {

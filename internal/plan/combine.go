@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+
+	"github.com/wasp-stream/wasp/internal/detutil"
 )
 
 // LeafSet is a bitmask over the input indices of a CombineSpec. Each
@@ -228,9 +230,9 @@ func (spec *CombineSpec) Expand(base *Graph, tree *Tree) (*Variant, error) {
 // nodes — the sub-plans whose state must be preserved by any re-planning.
 func (v *Variant) StatefulLeafSets() []LeafSet {
 	var out []LeafSet
-	for id, set := range v.CombineNodes {
+	for _, id := range detutil.SortedKeys(v.CombineNodes) {
 		if v.Graph.Operator(id).Stateful {
-			out = append(out, set)
+			out = append(out, v.CombineNodes[id])
 		}
 	}
 	return out

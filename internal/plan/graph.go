@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/topology"
 )
 
@@ -172,12 +173,7 @@ func (g *Graph) Len() int { return len(g.ops) }
 
 // OperatorIDs returns all operator IDs in ascending order.
 func (g *Graph) OperatorIDs() []OpID {
-	ids := make([]OpID, 0, len(g.ops))
-	for id := range g.ops {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return detutil.SortedKeys(g.ops)
 }
 
 // Sources returns the IDs of all KindSource operators, ascending.
@@ -205,12 +201,11 @@ func (g *Graph) TopoOrder() ([]OpID, error) {
 		indeg[id] = len(g.up[id])
 	}
 	var ready []OpID
-	for id, d := range indeg {
-		if d == 0 {
+	for _, id := range detutil.SortedKeys(indeg) {
+		if indeg[id] == 0 {
 			ready = append(ready, id)
 		}
 	}
-	sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
 
 	order := make([]OpID, 0, len(g.ops))
 	for len(ready) > 0 {

@@ -2,9 +2,9 @@ package state
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
@@ -95,12 +95,7 @@ func (c *Coordinator) Epoch() int64 { return c.epoch }
 // stop being byte-identical.
 func (c *Coordinator) Checkpoint() {
 	c.epoch++
-	keys := make([]string, 0, len(c.targets))
-	for key := range c.targets {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
+	for _, key := range detutil.SortedKeys(c.targets) {
 		t := c.targets[key]
 		data, err := t.Snapshot()
 		if err != nil {

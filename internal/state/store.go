@@ -8,9 +8,9 @@ package state
 import (
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"sync"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/topology"
 )
 
@@ -163,13 +163,8 @@ func (s *Store) Prune(job, operator string, task int, keepEpoch int64) {
 func (s *Store) Refs() []Ref {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.snaps))
-	for k := range s.snaps {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	var out []Ref
-	for _, k := range keys {
+	for _, k := range detutil.SortedKeys(s.snaps) {
 		for _, e := range s.snaps[k] {
 			out = append(out, e.ref)
 		}

@@ -4,9 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
@@ -83,15 +83,10 @@ func (j *WindowJoin) OnEvent(port int, e Event, emit Emit) {
 
 // OnWatermark implements Handler: expired window buffers are dropped.
 func (j *WindowJoin) OnWatermark(wm vclock.Time, _ Emit) {
-	var due []vclock.Time
-	for start := range j.windows {
+	for _, start := range detutil.SortedKeys(j.windows) {
 		if start+vclock.Time(j.Size) <= wm {
-			due = append(due, start)
+			delete(j.windows, start)
 		}
-	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
-	for _, start := range due {
-		delete(j.windows, start)
 	}
 }
 

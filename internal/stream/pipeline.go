@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
@@ -220,8 +221,9 @@ func (p *Pipeline) Run(inputs Inputs, cfg RunConfig) error {
 		src NodeID
 		idx int
 	}
-	var srcs []NodeID
-	for src, evs := range inputs {
+	srcs := detutil.SortedKeys(inputs)
+	for _, src := range srcs {
+		evs := inputs[src]
 		if p.nodes[src].kind != nodeSource {
 			return fmt.Errorf("stream: input for non-source node %q", p.nodes[src].name)
 		}
@@ -230,9 +232,7 @@ func (p *Pipeline) Run(inputs Inputs, cfg RunConfig) error {
 				return fmt.Errorf("stream: input for %q not time-ordered at %d", p.nodes[src].name, i)
 			}
 		}
-		srcs = append(srcs, src)
 	}
-	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 
 	cursors := make([]cursor, len(srcs))
 	for i, s := range srcs {

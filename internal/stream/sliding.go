@@ -4,9 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
@@ -82,21 +82,12 @@ func (w *SlidingWindowAggregate) OnEvent(_ int, e Event, emit Emit) {
 // OnWatermark implements Handler: windows ending at or before wm emit in
 // ascending window order with sorted keys.
 func (w *SlidingWindowAggregate) OnWatermark(wm vclock.Time, emit Emit) {
-	var due []vclock.Time
-	for start := range w.windows {
-		if start+vclock.Time(w.Size) <= wm {
-			due = append(due, start)
+	for _, start := range detutil.SortedKeys(w.windows) {
+		if start+vclock.Time(w.Size) > wm {
+			continue
 		}
-	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
-	for _, start := range due {
 		ws := w.windows[start]
-		keys := make([]string, 0, len(ws.Accs))
-		for k := range ws.Accs {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		for _, k := range detutil.SortedKeys(ws.Accs) {
 			v := ws.Accs[k]
 			if w.Result != nil {
 				v = w.Result(k, v)

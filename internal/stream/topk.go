@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
@@ -81,21 +82,12 @@ func (t *WindowTopK) topic(e Event) string {
 // OnWatermark implements Handler: completed windows emit one event per
 // group carrying its top-K topics.
 func (t *WindowTopK) OnWatermark(wm vclock.Time, emit Emit) {
-	var due []vclock.Time
-	for start := range t.windows {
-		if start+vclock.Time(t.Size) <= wm {
-			due = append(due, start)
+	for _, start := range detutil.SortedKeys(t.windows) {
+		if start+vclock.Time(t.Size) > wm {
+			continue
 		}
-	}
-	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
-	for _, start := range due {
 		w := t.windows[start]
-		groups := make([]string, 0, len(w.Counts))
-		for g := range w.Counts {
-			groups = append(groups, g)
-		}
-		sort.Strings(groups)
-		for _, g := range groups {
+		for _, g := range detutil.SortedKeys(w.Counts) {
 			emit(Event{Time: w.MaxTime, Key: g, Value: TopK(w.Counts[g], t.K)})
 		}
 		delete(t.windows, start)
@@ -106,8 +98,8 @@ func (t *WindowTopK) OnWatermark(wm vclock.Time, emit Emit) {
 // topic name ascending.
 func TopK(counts map[string]int64, k int) []TopicCount {
 	all := make([]TopicCount, 0, len(counts))
-	for topic, c := range counts {
-		all = append(all, TopicCount{Topic: topic, Count: c})
+	for _, topic := range detutil.SortedKeys(counts) {
+		all = append(all, TopicCount{Topic: topic, Count: counts[topic]})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].Count != all[j].Count {

@@ -225,14 +225,22 @@ func DefaultGenConfig(seed int64) GenConfig {
 
 // Generate builds a seeded random topology per cfg. It panics on a
 // structurally invalid configuration (experiment configs are constants).
+// The topology is a pure function of cfg (randomness comes from a fresh
+// source seeded with cfg.Seed).
 func Generate(cfg GenConfig) *Topology {
+	return GenerateWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateWith is Generate drawing from the caller's rng — for callers
+// that thread one seeded source through several generators. cfg.Seed is
+// ignored.
+func GenerateWith(rng *rand.Rand, cfg GenConfig) *Topology {
 	if cfg.EdgeSites < 0 || cfg.DCSites < 0 || cfg.EdgeSites+cfg.DCSites == 0 {
 		panic("topology: generator needs at least one site")
 	}
 	if cfg.EdgeSlotsMax < cfg.EdgeSlotsMin {
 		panic("topology: edge slot bounds inverted")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := cfg.EdgeSites + cfg.DCSites
 
 	sites := make([]Site, 0, n)

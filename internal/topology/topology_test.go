@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -178,5 +179,26 @@ func TestSitesReturnsCopy(t *testing.T) {
 	sites[0].Slots = 999
 	if top.Slots(0) == 999 {
 		t.Fatal("Sites() exposed internal state")
+	}
+}
+
+func TestGenerateWithMatchesWrapper(t *testing.T) {
+	cfg := DefaultGenConfig(9)
+	a := Generate(cfg)
+	b := GenerateWith(rand.New(rand.NewSource(9)), cfg)
+	if a.N() != b.N() {
+		t.Fatalf("site count mismatch: %d vs %d", a.N(), b.N())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Site(SiteID(i)) != b.Site(SiteID(i)) {
+			t.Fatalf("site %d differs", i)
+		}
+		for j := 0; j < a.N(); j++ {
+			from, to := SiteID(i), SiteID(j)
+			if a.BaseBandwidth(from, to) != b.BaseBandwidth(from, to) ||
+				a.Latency(from, to) != b.Latency(from, to) {
+				t.Fatalf("link %d->%d differs", i, j)
+			}
+		}
 	}
 }

@@ -128,15 +128,23 @@ type WalkConfig struct {
 
 // RandomWalk generates a bounded random-walk factor trace. It panics on an
 // invalid configuration (zero interval, inverted bounds), since
-// configurations are compile-time constants in experiments.
+// configurations are compile-time constants in experiments. The trace is
+// a pure function of cfg (randomness comes from a fresh source seeded
+// with cfg.Seed).
 func RandomWalk(cfg WalkConfig) *Trace {
+	return RandomWalkWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// RandomWalkWith is RandomWalk drawing from the caller's rng — for
+// callers that thread one seeded source through several generators.
+// cfg.Seed is ignored.
+func RandomWalkWith(rng *rand.Rand, cfg WalkConfig) *Trace {
 	if cfg.Interval <= 0 {
 		panic("trace: RandomWalk requires a positive interval")
 	}
 	if cfg.Min > cfg.Max {
 		panic("trace: RandomWalk bounds inverted")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	v := clamp(cfg.Start, cfg.Min, cfg.Max)
 	span := cfg.Max - cfg.Min
 	var pts []Point

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -227,6 +228,23 @@ func TestReflect(t *testing.T) {
 	for _, tt := range tests {
 		if got := reflect(tt.v, tt.lo, tt.hi); math.Abs(got-tt.want) > 1e-12 {
 			t.Errorf("reflect(%v,%v,%v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestRandomWalkWithMatchesWrapper(t *testing.T) {
+	cfg := WalkConfig{
+		Seed: 5, Start: 1, Min: 0.5, Max: 2, MaxStep: 0.3,
+		Interval: time.Minute, Duration: time.Hour,
+	}
+	a := RandomWalk(cfg)
+	b := RandomWalkWith(rand.New(rand.NewSource(5)), cfg)
+	if len(a.Points()) != len(b.Points()) {
+		t.Fatalf("point count mismatch: %d vs %d", a.Len(), b.Len())
+	}
+	for i, p := range a.Points() {
+		if q := b.Points()[i]; p != q {
+			t.Fatalf("point %d differs: %+v vs %+v", i, p, q)
 		}
 	}
 }

@@ -81,10 +81,18 @@ func (c TwitterConfig) withDefaults() TwitterConfig {
 	return c
 }
 
-// GenerateTweets produces a time-ordered synthetic tweet trace.
+// GenerateTweets produces a time-ordered synthetic tweet trace. The trace
+// is a pure function of cfg (randomness comes from a fresh source seeded
+// with cfg.Seed).
 func GenerateTweets(cfg TwitterConfig) []Tweet {
+	return GenerateTweetsWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateTweetsWith is GenerateTweets drawing from the caller's rng —
+// for callers that thread one seeded source through several generators.
+// cfg.Seed is ignored.
+func GenerateTweetsWith(rng *rand.Rand, cfg TwitterConfig) []Tweet {
 	c := cfg.withDefaults()
-	rng := rand.New(rand.NewSource(c.Seed))
 	zipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Topics-1))
 
 	var totalWeight float64

@@ -81,10 +81,17 @@ var adTypes = []string{"banner", "modal", "sponsored-search", "mail", "mobile"}
 
 // GenerateYSB produces a time-ordered YSB event stream. Event types are
 // drawn uniformly from {view, click, purchase} (so a view filter has
-// selectivity 1/3, as in the benchmark).
+// selectivity 1/3, as in the benchmark). The stream is a pure function of
+// cfg (randomness comes from a fresh source seeded with cfg.Seed).
 func GenerateYSB(cfg YSBConfig) []AdEvent {
+	return GenerateYSBWith(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// GenerateYSBWith is GenerateYSB drawing from the caller's rng — for
+// callers that thread one seeded source through several generators.
+// cfg.Seed is ignored.
+func GenerateYSBWith(rng *rand.Rand, cfg YSBConfig) []AdEvent {
 	c := cfg.withDefaults()
-	rng := rand.New(rand.NewSource(c.Seed))
 	n := int(c.Rate * c.Duration.Seconds())
 	events := make([]AdEvent, 0, n)
 	interval := vclock.Time(float64(time.Second) / c.Rate)
