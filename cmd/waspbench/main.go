@@ -6,38 +6,151 @@
 //	waspbench -experiment all
 //	waspbench -experiment fig8 -seed 3
 //	waspbench -experiment fig11 -duration 30m
+//	waspbench -experiment all -j 4 -bench-json BENCH.json
 //
 // Experiments: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 tab2
 // tab3, the extensions (straggler, ablation-alpha, ablation-monitor,
 // ablation-constraints), or "all". Figures 8/9 and 11/12 share underlying
 // runs; requesting either member executes the runs once and prints the
 // requested panels.
+//
+// -j sets the experiment worker-pool width (default GOMAXPROCS): the
+// cells of each scenario grid run concurrently but results come back in
+// submission order, so the output is byte-identical for any -j.
+// -bench-json writes a machine-readable performance record — wall time,
+// simulation ticks, ticks/sec, and bytes/allocs per tick for every
+// experiment executed — for tracking the bench trajectory across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/experiment"
 )
 
 func main() {
 	var (
-		name     = flag.String("experiment", "all", "experiment id (fig2..fig14, tab2, tab3, straggler, ablation-*, all)")
-		seed     = flag.Int64("seed", 1, "deterministic seed for topology and traces")
-		duration = flag.Duration("duration", 0, "override run duration (0 = paper default)")
+		name      = flag.String("experiment", "all", "experiment id (fig2..fig14, tab2, tab3, straggler, ablation-*, all)")
+		seed      = flag.Int64("seed", 1, "deterministic seed for topology and traces")
+		duration  = flag.Duration("duration", 0, "override run duration (0 = paper default)")
+		workers   = flag.Int("j", 0, "experiment worker-pool width (0 = GOMAXPROCS / WASP_BENCH_PARALLEL)")
+		benchPath = flag.String("bench-json", "", "write a machine-readable bench record to this file")
 	)
 	flag.Parse()
-	if err := run(strings.ToLower(*name), *seed, *duration); err != nil {
+	if *workers > 0 {
+		experiment.SetParallelism(*workers)
+	}
+	var rec *recorder
+	if *benchPath != "" {
+		rec = newRecorder(*seed, *duration)
+	}
+	if err := run(strings.ToLower(*name), *seed, *duration, rec); err != nil {
 		fmt.Fprintln(os.Stderr, "waspbench:", err)
 		os.Exit(1)
 	}
+	if rec != nil {
+		if err := rec.write(*benchPath); err != nil {
+			fmt.Fprintln(os.Stderr, "waspbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(name string, seed int64, duration time.Duration) error {
+// benchRecord is the per-experiment entry of the -bench-json report.
+type benchRecord struct {
+	Experiment    string  `json:"experiment"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	Ticks         int64   `json:"ticks"`
+	TicksPerSec   float64 `json:"ticks_per_sec"`
+	BytesPerTick  float64 `json:"bytes_per_tick"`
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+}
+
+// benchReport is the full -bench-json document. One file per commit forms
+// the repository's bench trajectory.
+type benchReport struct {
+	Schema           string        `json:"schema"`
+	GoVersion        string        `json:"go_version"`
+	NumCPU           int           `json:"num_cpu"`
+	Parallelism      int           `json:"parallelism"`
+	Seed             int64         `json:"seed"`
+	DurationOverride string        `json:"duration_override,omitempty"`
+	Experiments      []benchRecord `json:"experiments"`
+	TotalWallSeconds float64       `json:"total_wall_seconds"`
+	TotalTicks       int64         `json:"total_ticks"`
+}
+
+// recorder accumulates per-experiment wall/tick/memory measurements. The
+// wall clock never feeds the simulation — experiments run on the virtual
+// clock — it only annotates the bench report.
+type recorder struct {
+	report benchReport
+}
+
+func newRecorder(seed int64, duration time.Duration) *recorder {
+	r := &recorder{report: benchReport{
+		Schema:      "wasp-bench/v1",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Parallelism: experiment.Parallelism(),
+		Seed:        seed,
+	}}
+	if duration != 0 {
+		r.report.DurationOverride = duration.String()
+	}
+	return r
+}
+
+// measure runs fn and appends its wall time, tick count, and per-tick
+// allocation profile under the given experiment name. A nil recorder just
+// runs fn (no -bench-json).
+func (r *recorder) measure(name string, fn func() error) error {
+	if r == nil {
+		return fn()
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ticks0 := engine.TickCount()
+	//waspvet:wallclock bench-report timing only; experiments run on the virtual clock
+	start := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	//waspvet:wallclock bench-report timing only; experiments run on the virtual clock
+	wall := time.Since(start).Seconds()
+	ticks := engine.TickCount() - ticks0
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	rec := benchRecord{Experiment: name, WallSeconds: wall, Ticks: ticks}
+	if wall > 0 {
+		rec.TicksPerSec = float64(ticks) / wall
+	}
+	if ticks > 0 {
+		rec.BytesPerTick = float64(after.TotalAlloc-before.TotalAlloc) / float64(ticks)
+		rec.AllocsPerTick = float64(after.Mallocs-before.Mallocs) / float64(ticks)
+	}
+	r.report.Experiments = append(r.report.Experiments, rec)
+	r.report.TotalWallSeconds += wall
+	r.report.TotalTicks += ticks
+	return nil
+}
+
+func (r *recorder) write(path string) error {
+	data, err := json.MarshalIndent(r.report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(name string, seed int64, duration time.Duration, rec *recorder) error {
 	wants := func(ids ...string) bool {
 		if name == "all" {
 			return true
@@ -52,101 +165,166 @@ func run(name string, seed int64, duration time.Duration) error {
 	ran := false
 
 	if wants("fig2") {
-		fmt.Println(experiment.Fig2(42))
+		if err := rec.measure("fig2", func() error {
+			fmt.Println(experiment.Fig2(42))
+			return nil
+		}); err != nil {
+			return err
+		}
 		ran = true
 	}
 	if wants("fig7") {
-		fmt.Println(experiment.Fig7(seed))
+		if err := rec.measure("fig7", func() error {
+			fmt.Println(experiment.Fig7(seed))
+			return nil
+		}); err != nil {
+			return err
+		}
 		ran = true
 	}
 	if wants("tab2", "table2") {
-		fmt.Println(experiment.Table2())
+		if err := rec.measure("tab2", func() error {
+			fmt.Println(experiment.Table2())
+			return nil
+		}); err != nil {
+			return err
+		}
 		ran = true
 	}
 	if wants("tab3", "table3") {
-		fmt.Println(experiment.Table3())
+		if err := rec.measure("tab3", func() error {
+			fmt.Println(experiment.Table3())
+			return nil
+		}); err != nil {
+			return err
+		}
 		ran = true
 	}
 	if wants("fig8", "fig9") {
-		runs, err := experiment.RunFig8(seed, duration)
-		if err != nil {
+		if err := rec.measure("fig8", func() error {
+			runs, err := experiment.RunFig8(seed, duration)
+			if err != nil {
+				return err
+			}
+			if wants("fig8") {
+				fmt.Println(experiment.FormatFig8(runs, duration))
+			}
+			if wants("fig9") {
+				fmt.Println(experiment.FormatFig9(runs, duration))
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		if wants("fig8") {
-			fmt.Println(experiment.FormatFig8(runs, duration))
-		}
-		if wants("fig9") {
-			fmt.Println(experiment.FormatFig9(runs, duration))
 		}
 		ran = true
 	}
 	if wants("fig10") {
-		runs, err := experiment.RunFig10(seed, duration)
-		if err != nil {
+		if err := rec.measure("fig10", func() error {
+			runs, err := experiment.RunFig10(seed, duration)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFig10(runs, duration))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatFig10(runs, duration))
 		ran = true
 	}
 	if wants("fig11", "fig12") {
-		runs, err := experiment.RunFig11(seed, duration)
-		if err != nil {
+		if err := rec.measure("fig11", func() error {
+			runs, err := experiment.RunFig11(seed, duration)
+			if err != nil {
+				return err
+			}
+			if wants("fig11") {
+				fmt.Println(experiment.FormatFig11(runs, duration))
+			}
+			if wants("fig12") {
+				fmt.Println(experiment.FormatFig12(runs))
+			}
+			return nil
+		}); err != nil {
 			return err
-		}
-		if wants("fig11") {
-			fmt.Println(experiment.FormatFig11(runs, duration))
-		}
-		if wants("fig12") {
-			fmt.Println(experiment.FormatFig12(runs))
 		}
 		ran = true
 	}
 	if wants("fig13") {
-		runs, err := experiment.RunFig13(seed)
-		if err != nil {
+		if err := rec.measure("fig13", func() error {
+			runs, err := experiment.RunFig13(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFig13(runs))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatFig13(runs))
 		ran = true
 	}
 	if wants("fig14") {
-		runs, err := experiment.RunFig14(seed)
-		if err != nil {
+		if err := rec.measure("fig14", func() error {
+			runs, err := experiment.RunFig14(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatFig14(runs))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatFig14(runs))
 		ran = true
 	}
 	if wants("straggler") {
-		runs, err := experiment.RunStraggler(seed)
-		if err != nil {
+		if err := rec.measure("straggler", func() error {
+			runs, err := experiment.RunStraggler(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatStraggler(runs))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatStraggler(runs))
 		ran = true
 	}
 	if wants("ablation-alpha") {
-		rows, err := experiment.RunAlphaAblation(seed)
-		if err != nil {
+		if err := rec.measure("ablation-alpha", func() error {
+			rows, err := experiment.RunAlphaAblation(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatAblation("Ablation: bandwidth headroom α (§4.1)", rows))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatAblation("Ablation: bandwidth headroom α (§4.1)", rows))
 		ran = true
 	}
 	if wants("ablation-monitor") {
-		rows, err := experiment.RunMonitorIntervalAblation(seed)
-		if err != nil {
+		if err := rec.measure("ablation-monitor", func() error {
+			rows, err := experiment.RunMonitorIntervalAblation(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatAblation("Ablation: monitoring interval (§8.2)", rows))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatAblation("Ablation: monitoring interval (§8.2)", rows))
 		ran = true
 	}
 	if wants("ablation-constraints") {
-		rows, err := experiment.RunConstraintAblation(seed)
-		if err != nil {
+		if err := rec.measure("ablation-constraints", func() error {
+			rows, err := experiment.RunConstraintAblation(seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatAblation("Ablation: weighted vs conservative bandwidth constraints (actions = schedulable variants; mean delay column = plan cost)", rows))
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(experiment.FormatAblation("Ablation: weighted vs conservative bandwidth constraints (actions = schedulable variants; mean delay column = plan cost)", rows))
 		ran = true
 	}
 	if !ran {

@@ -1,26 +1,67 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
 
 func TestRunStaticExperiments(t *testing.T) {
 	for _, id := range []string{"fig2", "fig7", "tab2", "tab3", "table2"} {
-		if err := run(id, 1, 0); err != nil {
+		if err := run(id, 1, 0, nil); err != nil {
 			t.Errorf("run(%q): %v", id, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", 1, 0); err == nil {
+	if err := run("fig99", 1, 0, nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunShortenedDynamicExperiment(t *testing.T) {
-	if err := run("fig9", 1, 250*time.Second); err != nil {
+	if err := run("fig9", 1, 250*time.Second, nil); err != nil {
 		t.Fatalf("run(fig9): %v", err)
+	}
+}
+
+// TestBenchJSONRecord runs one shortened dynamic experiment under the
+// recorder and checks the written report carries plausible measurements:
+// simulation ticks were counted and per-tick costs are positive.
+func TestBenchJSONRecord(t *testing.T) {
+	rec := newRecorder(1, 250*time.Second)
+	if err := run("fig10", 1, 250*time.Second, rec); err != nil {
+		t.Fatalf("run(fig10): %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rec.write(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v", err)
+	}
+	if report.Schema != "wasp-bench/v1" {
+		t.Errorf("schema = %q, want wasp-bench/v1", report.Schema)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].Experiment != "fig10" {
+		t.Fatalf("experiments = %+v, want one fig10 entry", report.Experiments)
+	}
+	e := report.Experiments[0]
+	if e.Ticks <= 0 || e.WallSeconds <= 0 || e.TicksPerSec <= 0 {
+		t.Errorf("implausible measurements: %+v", e)
+	}
+	if e.BytesPerTick <= 0 || e.AllocsPerTick <= 0 {
+		t.Errorf("per-tick memory profile missing: %+v", e)
+	}
+	if report.TotalTicks != e.Ticks {
+		t.Errorf("TotalTicks = %d, want %d", report.TotalTicks, e.Ticks)
 	}
 }

@@ -15,6 +15,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
@@ -200,6 +201,22 @@ type Engine struct {
 	// caches the registry instruments the hot path touches.
 	obs *obs.Observer
 	tel engineTel
+
+	// Tick hot-path caches and scratch buffers (see hotpath.go for the
+	// invalidation rules). topoErr remembers a StageIDs failure so cached
+	// paths mirror the uncached error behaviour exactly.
+	topoDirty   bool
+	topoErr     error
+	stageOrder  []plan.OpID
+	stageGroups [][]*group
+	srcGens     []srcGen
+	fanPlans    map[plan.OpID][]fanTarget
+	flowsDirty  bool
+	flowList    []*edgeFlow
+	outFlows    map[groupKey][]*edgeFlow
+	flowKeyBuf  []flowKey
+	popBuf      []cohort
+	winKeyBuf   []vclock.Time
 }
 
 // engineTel caches the engine's registry instruments so hot-path updates
@@ -363,6 +380,7 @@ func (e *Engine) Stop() {
 // nothing (fresh deployment).
 func (e *Engine) buildGroups() {
 	e.groups = make(map[groupKey]*group)
+	e.topoDirty = true
 	for _, id := range detutil.SortedKeys(e.plan.Stages) {
 		st := e.plan.Stages[id]
 		for _, site := range st.DistinctSites() {
@@ -383,6 +401,7 @@ func (e *Engine) addGroup(id plan.OpID, site topology.SiteID, tasks int) *group 
 		g.windows = make(map[vclock.Time]*winAcc)
 	}
 	e.groups[groupKey{op: id, site: site}] = g
+	e.topoDirty = true
 	return g
 }
 
@@ -397,12 +416,23 @@ func (e *Engine) opGroups(id plan.OpID) []*group {
 	return out
 }
 
+// tickCount counts every simulation tick executed process-wide, across
+// all engines (experiment grids run many engines, possibly concurrently).
+// The waspbench -bench-json harness divides wall time and memory deltas by
+// the delta of this counter to report per-tick costs.
+var tickCount atomic.Int64
+
+// TickCount returns the number of simulation ticks executed by all engines
+// in this process since start.
+func TickCount() int64 { return tickCount.Load() }
+
 // tick advances the simulation by one step ending at `now`.
 func (e *Engine) tick(now vclock.Time) {
 	dt := now - e.lastNow
 	if dt <= 0 {
 		return
 	}
+	tickCount.Add(1)
 	e.lastNow = now
 	dtSec := time.Duration(dt).Seconds()
 	failed := now <= e.failedUntil
@@ -434,13 +464,13 @@ func (e *Engine) tick(now vclock.Time) {
 	// 4. External arrivals at sources (rates evaluated at tick start).
 	e.generate(now, now-dt, dtSec)
 
-	// 5. Process groups in topological order.
-	order, err := e.plan.StageIDs()
-	if err != nil {
-		panic(fmt.Sprintf("engine: invalid plan at runtime: %v", err))
+	// 5. Process groups in topological order (cached; see hotpath.go).
+	e.ensureTopo()
+	if e.topoErr != nil {
+		panic(fmt.Sprintf("engine: invalid plan at runtime: %v", e.topoErr))
 	}
-	for _, id := range order {
-		for _, g := range e.opGroups(id) {
+	for _, groups := range e.stageGroups {
+		for _, g := range groups {
 			e.processGroup(g, now, dtSec, failed)
 		}
 	}
@@ -455,14 +485,12 @@ func (e *Engine) tick(now vclock.Time) {
 
 // sortedFlows returns the engine's flows in deterministic key order, so
 // queue pushes and network allocations are replay-stable (map iteration
-// order must not leak into event order).
+// order must not leak into event order). The order is cached across ticks
+// and rebuilt only after the flow set changes; callers must treat the
+// returned slice as read-only.
 func (e *Engine) sortedFlows() []*edgeFlow {
-	keys := detutil.SortedKeysFunc(e.flows, flowKeyLess)
-	out := make([]*edgeFlow, len(keys))
-	for i, k := range keys {
-		out[i] = e.flows[k]
-	}
-	return out
+	e.ensureFlows()
+	return e.flowList
 }
 
 // flowKeyLess is the canonical flow ordering: by edge (from, to), then by
@@ -521,7 +549,8 @@ func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
 		if !ok {
 			continue
 		}
-		for _, c := range f.q.pop(granted) {
+		e.popBuf = f.q.popInto(granted, e.popBuf[:0])
+		for _, c := range e.popBuf {
 			dst.inQ.push(c.born-f.latency, c.count, c.worth, c.raw)
 			dst.arrived += c.count
 			if e.frontOps[f.key.from] {
@@ -535,37 +564,27 @@ func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
 // continues through failures and halts — reality does not pause — which is
 // what makes backlogs accumulate.
 func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
-	for _, id := range e.plan.Graph.OperatorIDs() {
-		st, ok := e.plan.Stages[id]
-		if !ok {
-			continue
-		}
-		op := st.Op
-		if op.Kind != plan.KindSource {
-			continue
-		}
+	e.ensureTopo()
+	for _, sg := range e.srcGens {
 		factor := e.workloadFactor.At(start)
-		if tr, ok := e.sourceFactors[id]; ok {
+		if tr, ok := e.sourceFactors[sg.id]; ok {
 			factor *= tr.At(start)
 		}
-		count := op.SourceRate * factor * dtSec
+		count := sg.op.SourceRate * factor * dtSec
 		if count <= 0 {
 			continue
 		}
-		for _, g := range e.opGroups(id) {
-			if e.downSites[g.site] {
-				// The ingest site is dead: external events keep arriving
-				// (reality does not pause) but nobody is there to accept
-				// them — they are lost, not queued.
-				e.totalGenerated += count
-				e.lostSrcEquiv += count
-				break
-			}
-			g.inQ.push(now, count, 1, true)
-			g.generated += count
+		if e.downSites[sg.g.site] {
+			// The ingest site is dead: external events keep arriving
+			// (reality does not pause) but nobody is there to accept
+			// them — they are lost, not queued.
 			e.totalGenerated += count
-			break // sources are pinned: single group
+			e.lostSrcEquiv += count
+			continue
 		}
+		sg.g.inQ.push(now, count, 1, true)
+		sg.g.generated += count
+		e.totalGenerated += count
 	}
 }
 
@@ -579,7 +598,8 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 		// weighted by source-equivalents so that delay statistics weight
 		// every source event fairly, regardless of how much aggregation
 		// compressed its branch.
-		for _, c := range g.inQ.popAll() {
+		e.popBuf = g.inQ.popAllInto(e.popBuf[:0])
+		for _, c := range e.popBuf {
 			delay := now - c.born
 			e.sinkArrived += c.count
 			e.sinkDelaySum += delay.Seconds() * c.count
@@ -634,7 +654,8 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 		return
 	}
 
-	for _, c := range g.inQ.pop(budget) {
+	e.popBuf = g.inQ.popInto(budget, e.popBuf[:0])
+	for _, c := range e.popBuf {
 		g.processed += c.count
 		if c.born > g.maxProcessedBorn {
 			g.maxProcessedBorn = c.born
@@ -681,8 +702,8 @@ func (e *Engine) failSafeSLO() vclock.Time { return vclock.Time(e.cfg.SLO) }
 // lateness to the emitted cohort (its born time stays the window's max
 // event time, the paper's §8.3 convention).
 func (e *Engine) fireWindows(g *group, now vclock.Time) {
-	due := detutil.SortedKeys(g.windows)
-	for _, start := range due {
+	e.winKeyBuf = detutil.SortedKeysInto(g.windows, e.winKeyBuf[:0])
+	for _, start := range e.winKeyBuf {
 		if start+vclock.Time(g.op.Window) > now {
 			continue
 		}
@@ -705,20 +726,15 @@ func windowStart(t vclock.Time, size time.Duration) vclock.Time {
 // `worth` source equivalents (raw or partial-result), to every downstream
 // operator, splitting across its sites by task share.
 func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bool) {
-	for _, downID := range e.plan.Graph.Downstream(g.op.ID) {
-		downStage := e.plan.Stages[downID]
-		total := float64(downStage.Parallelism())
-		if total == 0 {
-			continue
-		}
-		for _, site := range downStage.DistinctSites() {
-			share := float64(countSites(downStage.Sites, site)) / total
-			n := count * share
+	e.ensureTopo()
+	for _, ft := range e.fanPlans[g.op.ID] {
+		for _, fs := range ft.sites {
+			n := count * fs.share
 			if n <= 0 {
 				continue
 			}
-			if site == g.site {
-				dst, ok := e.groups[groupKey{op: downID, site: site}]
+			if fs.site == g.site {
+				dst, ok := e.groups[groupKey{op: ft.down, site: fs.site}]
 				if !ok {
 					// The destination group vanished (crash teardown racing
 					// a window fire): the events die with it.
@@ -732,9 +748,9 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 				}
 				continue
 			}
-			f := e.flows[flowKey{from: g.op.ID, to: downID, fromSite: g.site, toSite: site}]
+			f := e.flows[flowKey{from: g.op.ID, to: ft.down, fromSite: g.site, toSite: fs.site}]
 			if f == nil {
-				f = e.addFlow(g.op.ID, downID, g.site, site)
+				f = e.addFlow(g.op.ID, ft.down, g.site, fs.site)
 			}
 			f.q.push(born, n, worth, raw)
 		}
@@ -745,11 +761,9 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 // backpressure bound (measured in seconds of transmission at current link
 // capacity).
 func (e *Engine) sendBlocked(g *group) bool {
-	for key, f := range e.flows {
-		if key.from != g.op.ID || key.fromSite != g.site {
-			continue
-		}
-		linkCap := e.net.Capacity(key.fromSite, key.toSite, e.lastNow)
+	e.ensureFlows()
+	for _, f := range e.outFlows[groupKey{op: g.op.ID, site: g.site}] {
+		linkCap := e.net.Capacity(f.key.fromSite, f.key.toSite, e.lastNow)
 		if linkCap <= 0 {
 			if !f.q.empty() {
 				return true
@@ -778,12 +792,12 @@ func (e *Engine) updateBackpressure() {
 		}
 		return
 	}
-	order, err := e.plan.StageIDs()
-	if err != nil {
+	e.ensureTopo()
+	if e.topoErr != nil {
 		return
 	}
-	for _, id := range order {
-		for _, g := range e.opGroups(id) {
+	for _, groups := range e.stageGroups {
+		for _, g := range groups {
 			bp := e.queueFull(g) || e.sendBlocked(g)
 			if bp {
 				g.backpressured = true

@@ -28,6 +28,7 @@ func (e *Engine) addFlow(from, to plan.OpID, fromSite, toSite topology.SiteID) *
 		f.flow = e.net.AddFlow(fromSite, toSite)
 	}
 	e.flows[key] = f
+	e.flowsDirty = true
 	return f
 }
 
@@ -39,6 +40,7 @@ func (e *Engine) addFlow(from, to plan.OpID, fromSite, toSite topology.SiteID) *
 func (e *Engine) rebuildFlows() {
 	old := e.flows
 	e.flows = make(map[flowKey]*edgeFlow, len(old))
+	e.flowsDirty = true
 
 	// Create the flow lattice for the current placement.
 	for _, from := range e.plan.Graph.OperatorIDs() {

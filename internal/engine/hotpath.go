@@ -1,0 +1,133 @@
+package engine
+
+// Tick hot-path caches. The 250 ms tick used to re-sort the flow map,
+// re-derive the stage topological order, and re-walk every stage's
+// downstream placement on every step — allocation churn proportional to
+// ticks × flows × fan-out, dominating long experiment replays. Everything
+// the tick derives purely from structural state (the plan graph, stage
+// placements, the group set, the flow set) is now computed once and
+// reused until a structural mutation flags it dirty:
+//
+//   - topoDirty: set by Deploy/buildGroups/addGroup, finalizeReconfig
+//     (group deletion + Sites mutation), and progressReplan (plan
+//     replacement). Guards stageOrder, stageGroups, srcGens, fanPlans.
+//   - flowsDirty: set by addFlow, rebuildFlows, and progressReplan's flow
+//     teardown. Guards flowList (the sortedFlows order) and outFlows (the
+//     per-group send-queue index used by backpressure checks).
+//
+// CrashSite/RestoreSite/InjectStraggler/Halt/Resume mutate per-group or
+// per-site state only — group pointers stay valid — so they invalidate
+// nothing. Rebuilds allocate fresh slices (never recycle the old backing
+// arrays) so a snapshot taken earlier in a tick, e.g. the flow list the
+// demand pass handed to deliverFlows, can never be overwritten by a
+// mid-tick rebuild triggered by fanOut adding a flow. Determinism is
+// untouched: every cached order is the same sorted order the tick used to
+// recompute, verified by the same-seed byte-compare suite.
+
+import (
+	"github.com/wasp-stream/wasp/internal/detutil"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// fanSite is one destination site of a cached fan-out target with its
+// precomputed task share.
+type fanSite struct {
+	site  topology.SiteID
+	share float64
+}
+
+// fanTarget is one downstream operator of a cached fan-out plan.
+type fanTarget struct {
+	down  plan.OpID
+	sites []fanSite
+}
+
+// srcGen is one source operator's generation slot: generate() pushes each
+// tick's external arrivals to the operator's first group (sources are
+// pinned: single group).
+type srcGen struct {
+	id plan.OpID
+	op *plan.Operator
+	g  *group
+}
+
+// ensureTopo rebuilds the plan-derived caches when dirty: the stage
+// topological order, each stage's groups (ascending site), the source
+// generation list, and the per-operator fan-out plans.
+func (e *Engine) ensureTopo() {
+	if !e.topoDirty {
+		return
+	}
+	e.topoDirty = false
+	order, err := e.plan.StageIDs()
+	e.topoErr = err
+	if err != nil {
+		e.stageOrder, e.stageGroups, e.srcGens, e.fanPlans = nil, nil, nil, nil
+		return
+	}
+	e.stageOrder = order
+	e.stageGroups = make([][]*group, len(order))
+	for i, id := range order {
+		e.stageGroups[i] = e.opGroups(id)
+	}
+
+	var srcs []srcGen
+	for _, id := range e.plan.Graph.OperatorIDs() {
+		st, ok := e.plan.Stages[id]
+		if !ok || st.Op.Kind != plan.KindSource {
+			continue
+		}
+		if gs := e.opGroups(id); len(gs) > 0 {
+			srcs = append(srcs, srcGen{id: id, op: st.Op, g: gs[0]})
+		}
+	}
+	e.srcGens = srcs
+
+	fans := make(map[plan.OpID][]fanTarget, len(order))
+	for _, id := range order {
+		downs := e.plan.Graph.Downstream(id)
+		if len(downs) == 0 {
+			continue
+		}
+		targets := make([]fanTarget, 0, len(downs))
+		for _, downID := range downs {
+			downStage := e.plan.Stages[downID]
+			total := float64(downStage.Parallelism())
+			if total == 0 {
+				continue
+			}
+			sites := downStage.DistinctSites()
+			ft := fanTarget{down: downID, sites: make([]fanSite, 0, len(sites))}
+			for _, site := range sites {
+				ft.sites = append(ft.sites, fanSite{
+					site:  site,
+					share: float64(countSites(downStage.Sites, site)) / total,
+				})
+			}
+			targets = append(targets, ft)
+		}
+		fans[id] = targets
+	}
+	e.fanPlans = fans
+}
+
+// ensureFlows rebuilds the flow-derived caches when dirty: the canonical
+// sorted flow list and the per-(op, site) outbound flow index.
+func (e *Engine) ensureFlows() {
+	if !e.flowsDirty {
+		return
+	}
+	e.flowsDirty = false
+	e.flowKeyBuf = detutil.SortedKeysFuncInto(e.flows, e.flowKeyBuf[:0], flowKeyLess)
+	list := make([]*edgeFlow, len(e.flowKeyBuf))
+	out := make(map[groupKey][]*edgeFlow, len(e.groups))
+	for i, k := range e.flowKeyBuf {
+		f := e.flows[k]
+		list[i] = f
+		gk := groupKey{op: k.from, site: k.fromSite}
+		out[gk] = append(out[gk], f)
+	}
+	e.flowList = list
+	e.outFlows = out
+}

@@ -71,8 +71,11 @@ func (q *cohortQueue) oldestBorn() (vclock.Time, bool) {
 
 // pop removes up to n events from the head, returning the removed cohorts
 // in FIFO order.
-func (q *cohortQueue) pop(n float64) []cohort {
-	var out []cohort
+func (q *cohortQueue) pop(n float64) []cohort { return q.popInto(n, nil) }
+
+// popInto is pop appending into a caller-supplied buffer, so per-tick
+// callers can recycle one scratch slice instead of allocating per pop.
+func (q *cohortQueue) popInto(n float64, out []cohort) []cohort {
 	for n > 1e-9 && q.head < len(q.items) {
 		c := &q.items[q.head]
 		if c.count <= n+1e-9 {
@@ -110,8 +113,10 @@ func (q *cohortQueue) popHead() (cohort, bool) {
 // popAll drains the queue exactly, returning every remaining cohort. It
 // iterates the item slice rather than popping by count so accumulated
 // float error in total can never leave cohorts behind.
-func (q *cohortQueue) popAll() []cohort {
-	var out []cohort
+func (q *cohortQueue) popAll() []cohort { return q.popAllInto(nil) }
+
+// popAllInto is popAll appending into a caller-supplied buffer.
+func (q *cohortQueue) popAllInto(out []cohort) []cohort {
 	for i := q.head; i < len(q.items); i++ {
 		out = append(out, q.items[i])
 	}

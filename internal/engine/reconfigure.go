@@ -141,7 +141,7 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 	carriedWins := make(map[vclock.Time]*winAcc)
 	var frontier vclock.Time
 	for _, g := range old {
-		carriedQ = append(carriedQ, g.inQ.popAll()...)
+		carriedQ = g.inQ.popAllInto(carriedQ)
 		for start, w := range g.windows {
 			dst := carriedWins[start]
 			if dst == nil {
@@ -159,6 +159,7 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 		}
 		delete(e.groups, groupKey{op: rc.op, site: g.site})
 	}
+	e.topoDirty = true // group set and stage placement are about to change
 
 	// Install the new placement on the plan.
 	e.plan.Stages[rc.op].Sites = append([]topology.SiteID(nil), rc.newSites...)
@@ -300,7 +301,7 @@ func (e *Engine) progressReplan(now vclock.Time) {
 	for oldID, newID := range rp.carry {
 		c := &carried{wins: make(map[vclock.Time]*winAcc)}
 		for _, g := range e.opGroups(oldID) {
-			c.q = append(c.q, g.inQ.popAll()...)
+			c.q = g.inQ.popAllInto(c.q)
 			for start, w := range g.windows {
 				dst := c.wins[start]
 				if dst == nil {
@@ -327,9 +328,11 @@ func (e *Engine) progressReplan(now vclock.Time) {
 		}
 	}
 	e.flows = make(map[flowKey]*edgeFlow)
+	e.flowsDirty = true
 
 	// Install the new plan and groups.
 	e.plan = rp.newPlan
+	e.topoDirty = true
 	e.buildGroups()
 	for newID, c := range carry {
 		groups := e.opGroups(newID)

@@ -41,89 +41,92 @@ func RunStraggler(seed int64) ([]StragglerRun, error) {
 		straggleEnd = 600 * time.Second
 		slowFactor  = 0.25
 	)
-	var runs []StragglerRun
-	for _, policy := range []adapt.Policy{adapt.PolicyNone, adapt.PolicyWASP} {
-		top := topology.Generate(topology.DefaultGenConfig(seed))
-		net := netsim.New(top)
-		sched := vclock.NewScheduler(nil)
-		qcfg := queries.Config{
-			SourceSites: top.SitesOfKind(topology.Edge),
-			SinkSite:    top.SitesOfKind(topology.DataCenter)[0],
-		}
-		q := queries.TopKTopics(qcfg)
-		best, _, err := physical.PlanQuery(q.Graph, q.Spec, top, physical.PlannerConfig{
-			ScheduleConfig: physical.ScheduleConfig{Alpha: 0.8, DefaultParallelism: 1},
-			MaxVariants:    40,
-		})
-		if err != nil {
-			return nil, err
-		}
-		eng := engine.New(EngineConfig(policy), top, net, sched)
-		if err := eng.Deploy(best.Plan); err != nil {
-			return nil, err
-		}
-		ctl := adapt.NewController(AdaptConfig(policy), eng, top, net, sched,
-			&adapt.ReplanSpec{Base: q.Graph, Spec: q.Spec, Current: best.Variant})
-
-		// Straggle the busiest operator: the combine with the highest
-		// expected input rate (a leaf combine consuming two raw branches).
-		inRate, _, _, err := best.Plan.Graph.ExpectedRates(1)
-		if err != nil {
-			return nil, err
-		}
-		rootID := best.Plan.Graph.Upstream(q.SinkOp)[0]
-		for _, id := range best.Plan.Graph.OperatorIDs() {
-			op := best.Plan.Graph.Operator(id)
-			if op.Kind == plan.KindSource || op.Kind == plan.KindSink {
-				continue
+	policies := []adapt.Policy{adapt.PolicyNone, adapt.PolicyWASP}
+	jobs := make([]func() (StragglerRun, error), len(policies))
+	for i, policy := range policies {
+		jobs[i] = func() (StragglerRun, error) {
+			top := topology.Generate(topology.DefaultGenConfig(seed))
+			net := netsim.New(top)
+			sched := vclock.NewScheduler(nil)
+			qcfg := queries.Config{
+				SourceSites: top.SitesOfKind(topology.Edge),
+				SinkSite:    top.SitesOfKind(topology.DataCenter)[0],
 			}
-			if inRate[id] > inRate[rootID] {
-				rootID = id
+			q := queries.TopKTopics(qcfg)
+			best, _, err := physical.PlanQuery(q.Graph, q.Spec, top, physical.PlannerConfig{
+				ScheduleConfig: physical.ScheduleConfig{Alpha: 0.8, DefaultParallelism: 1},
+				MaxVariants:    40,
+			})
+			if err != nil {
+				return StragglerRun{}, err
 			}
-		}
-		site := best.Plan.Stages[rootID].Sites[0]
-		sched.At(vclock.Time(straggleAt), func(vclock.Time) {
-			eng.InjectStraggler(rootID, site, slowFactor)
-		})
-		sched.At(vclock.Time(straggleEnd), func(vclock.Time) {
-			eng.InjectStraggler(rootID, site, 1)
-		})
+			eng := engine.New(EngineConfig(policy), top, net, sched)
+			if err := eng.Deploy(best.Plan); err != nil {
+				return StragglerRun{}, err
+			}
+			ctl := adapt.NewController(AdaptConfig(policy), eng, top, net, sched,
+				&adapt.ReplanSpec{Base: q.Graph, Spec: q.Spec, Current: best.Variant})
 
-		var samples []WeightedDelay
-		collector := sched.Every(20*time.Second, func(vclock.Time) {
+			// Straggle the busiest operator: the combine with the highest
+			// expected input rate (a leaf combine consuming two raw branches).
+			inRate, _, _, err := best.Plan.Graph.ExpectedRates(1)
+			if err != nil {
+				return StragglerRun{}, err
+			}
+			rootID := best.Plan.Graph.Upstream(q.SinkOp)[0]
+			for _, id := range best.Plan.Graph.OperatorIDs() {
+				op := best.Plan.Graph.Operator(id)
+				if op.Kind == plan.KindSource || op.Kind == plan.KindSink {
+					continue
+				}
+				if inRate[id] > inRate[rootID] {
+					rootID = id
+				}
+			}
+			site := best.Plan.Stages[rootID].Sites[0]
+			sched.At(vclock.Time(straggleAt), func(vclock.Time) {
+				eng.InjectStraggler(rootID, site, slowFactor)
+			})
+			sched.At(vclock.Time(straggleEnd), func(vclock.Time) {
+				eng.InjectStraggler(rootID, site, 1)
+			})
+
+			var samples []WeightedDelay
+			collector := sched.Every(20*time.Second, func(vclock.Time) {
+				for _, d := range eng.TakeDeliveries() {
+					samples = append(samples, WeightedDelay{At: d.At, Delay: d.Delay.Seconds(), Weight: d.Count})
+				}
+			})
+			eng.Start()
+			ctl.Start()
+			if err := sched.RunUntil(vclock.Time(duration)); err != nil {
+				return StragglerRun{}, err
+			}
+			collector.Cancel()
 			for _, d := range eng.TakeDeliveries() {
 				samples = append(samples, WeightedDelay{At: d.At, Delay: d.Delay.Seconds(), Weight: d.Count})
 			}
-		})
-		eng.Start()
-		ctl.Start()
-		if err := sched.RunUntil(vclock.Time(duration)); err != nil {
-			return nil, err
-		}
-		collector.Cancel()
-		for _, d := range eng.TakeDeliveries() {
-			samples = append(samples, WeightedDelay{At: d.At, Delay: d.Delay.Seconds(), Weight: d.Count})
-		}
 
-		gen, proc, _ := eng.Goodput()
-		pct := 100.0
-		if gen > 0 {
-			pct = 100 * proc / gen
+			gen, proc, _ := eng.Goodput()
+			pct := 100.0
+			if gen > 0 {
+				pct = 100 * proc / gen
+			}
+			return StragglerRun{
+				Policy: policy,
+				Result: &Result{
+					Name:         fmt.Sprintf("straggler-%s", policy),
+					Samples:      samples,
+					ProcessedPct: pct,
+					Actions:      ctl.Actions(),
+					Obs:          ctl.Observer(),
+				},
+				During: Mean(Window(samples, vclock.Time(straggleAt+100*time.Second), vclock.Time(straggleEnd))),
+				After:  Mean(Window(samples, vclock.Time(straggleEnd+100*time.Second), vclock.Time(duration))),
+			}, nil
 		}
-		runs = append(runs, StragglerRun{
-			Policy: policy,
-			Result: &Result{
-				Name:         fmt.Sprintf("straggler-%s", policy),
-				Samples:      samples,
-				ProcessedPct: pct,
-				Actions:      ctl.Actions(),
-				Obs:          ctl.Observer(),
-			},
-			During: Mean(Window(samples, vclock.Time(straggleAt+100*time.Second), vclock.Time(straggleEnd))),
-			After:  Mean(Window(samples, vclock.Time(straggleEnd+100*time.Second), vclock.Time(duration))),
-		})
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // FormatStraggler renders the straggler extension results.
@@ -155,64 +158,70 @@ type AblationRow struct {
 // setting it too high magnifies mis-estimation; too low over-constrains
 // placements. The workload is the fig8 Top-K scenario.
 func RunAlphaAblation(seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, alpha := range []float64{0.5, 0.65, 0.8, 0.9, 0.95} {
-		acfg := AdaptConfig(adapt.PolicyWASP)
-		acfg.Alpha = alpha
-		res, err := Run(Scenario{
-			Name:      fmt.Sprintf("alpha-%.2f", alpha),
-			Seed:      seed,
-			Duration:  1000 * time.Second,
-			Query:     queries.TopKTopics,
-			Engine:    EngineConfig(adapt.PolicyWASP),
-			Adapt:     acfg,
-			Workload:  trace.Steps(200*time.Second, 1, 2, 1, 1, 1),
-			Bandwidth: trace.Steps(200*time.Second, 1, 1, 1, 0.5, 1),
-		})
-		if err != nil {
-			return nil, err
+	alphas := []float64{0.5, 0.65, 0.8, 0.9, 0.95}
+	jobs := make([]func() (AblationRow, error), len(alphas))
+	for i, alpha := range alphas {
+		jobs[i] = func() (AblationRow, error) {
+			acfg := AdaptConfig(adapt.PolicyWASP)
+			acfg.Alpha = alpha
+			res, err := Run(Scenario{
+				Name:      fmt.Sprintf("alpha-%.2f", alpha),
+				Seed:      seed,
+				Duration:  1000 * time.Second,
+				Query:     queries.TopKTopics,
+				Engine:    EngineConfig(adapt.PolicyWASP),
+				Adapt:     acfg,
+				Workload:  trace.Steps(200*time.Second, 1, 2, 1, 1, 1),
+				Bandwidth: trace.Steps(200*time.Second, 1, 1, 1, 0.5, 1),
+			})
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Label:     fmt.Sprintf("α=%.2f", alpha),
+				MeanDelay: Mean(res.Samples),
+				P95Delay:  res.DelayPercentile(0.95),
+				Actions:   len(res.Actions),
+				Processed: res.ProcessedPct,
+			}, nil
 		}
-		rows = append(rows, AblationRow{
-			Label:     fmt.Sprintf("α=%.2f", alpha),
-			MeanDelay: Mean(res.Samples),
-			P95Delay:  res.DelayPercentile(0.95),
-			Actions:   len(res.Actions),
-			Processed: res.ProcessedPct,
-		})
 	}
-	return rows, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // RunMonitorIntervalAblation sweeps the monitoring interval (§8.2 sets
 // 40 s "to allow any adapted query to stabilize"): shorter reacts faster
 // but risks thrashing; longer leaves bottlenecks unattended.
 func RunMonitorIntervalAblation(seed int64) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, interval := range []time.Duration{10 * time.Second, 20 * time.Second, 40 * time.Second, 80 * time.Second, 160 * time.Second} {
-		acfg := AdaptConfig(adapt.PolicyWASP)
-		acfg.MonitorInterval = interval
-		res, err := Run(Scenario{
-			Name:      fmt.Sprintf("monitor-%v", interval),
-			Seed:      seed,
-			Duration:  1000 * time.Second,
-			Query:     queries.TopKTopics,
-			Engine:    EngineConfig(adapt.PolicyWASP),
-			Adapt:     acfg,
-			Workload:  trace.Steps(200*time.Second, 1, 2, 1, 1, 1),
-			Bandwidth: trace.Steps(200*time.Second, 1, 1, 1, 0.5, 1),
-		})
-		if err != nil {
-			return nil, err
+	intervals := []time.Duration{10 * time.Second, 20 * time.Second, 40 * time.Second, 80 * time.Second, 160 * time.Second}
+	jobs := make([]func() (AblationRow, error), len(intervals))
+	for i, interval := range intervals {
+		jobs[i] = func() (AblationRow, error) {
+			acfg := AdaptConfig(adapt.PolicyWASP)
+			acfg.MonitorInterval = interval
+			res, err := Run(Scenario{
+				Name:      fmt.Sprintf("monitor-%v", interval),
+				Seed:      seed,
+				Duration:  1000 * time.Second,
+				Query:     queries.TopKTopics,
+				Engine:    EngineConfig(adapt.PolicyWASP),
+				Adapt:     acfg,
+				Workload:  trace.Steps(200*time.Second, 1, 2, 1, 1, 1),
+				Bandwidth: trace.Steps(200*time.Second, 1, 1, 1, 0.5, 1),
+			})
+			if err != nil {
+				return AblationRow{}, err
+			}
+			return AblationRow{
+				Label:     interval.String(),
+				MeanDelay: Mean(res.Samples),
+				P95Delay:  res.DelayPercentile(0.95),
+				Actions:   len(res.Actions),
+				Processed: res.ProcessedPct,
+			}, nil
 		}
-		rows = append(rows, AblationRow{
-			Label:     interval.String(),
-			MeanDelay: Mean(res.Samples),
-			P95Delay:  res.DelayPercentile(0.95),
-			Actions:   len(res.Actions),
-			Processed: res.ProcessedPct,
-		})
 	}
-	return rows, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // RunConstraintAblation compares the weighted per-endpoint reading of the
@@ -220,32 +229,37 @@ func RunMonitorIntervalAblation(seed int64) ([]AblationRow, error) {
 // paper's literal conservative form, via initial-plan feasibility and
 // cost on the Top-K query.
 func RunConstraintAblation(seed int64) ([]AblationRow, error) {
-	top := topology.Generate(topology.DefaultGenConfig(seed))
-	qcfg := queries.Config{
-		SourceSites: top.SitesOfKind(topology.Edge),
-		SinkSite:    top.SitesOfKind(topology.DataCenter)[0],
-	}
-	var rows []AblationRow
-	for _, conservative := range []bool{false, true} {
-		q := queries.TopKTopics(qcfg)
-		_, all, err := physical.PlanQuery(q.Graph, q.Spec, top, physical.PlannerConfig{
-			ScheduleConfig: physical.ScheduleConfig{
-				Alpha: 0.8, DefaultParallelism: 1, Conservative: conservative,
-			},
-			MaxVariants: 40,
-		})
-		label := "weighted"
-		if conservative {
-			label = "conservative"
+	arms := []bool{false, true}
+	jobs := make([]func() (AblationRow, error), len(arms))
+	for i, conservative := range arms {
+		jobs[i] = func() (AblationRow, error) {
+			// Regenerate the (deterministic) topology per arm so concurrent
+			// jobs share nothing.
+			top := topology.Generate(topology.DefaultGenConfig(seed))
+			qcfg := queries.Config{
+				SourceSites: top.SitesOfKind(topology.Edge),
+				SinkSite:    top.SitesOfKind(topology.DataCenter)[0],
+			}
+			q := queries.TopKTopics(qcfg)
+			_, all, err := physical.PlanQuery(q.Graph, q.Spec, top, physical.PlannerConfig{
+				ScheduleConfig: physical.ScheduleConfig{
+					Alpha: 0.8, DefaultParallelism: 1, Conservative: conservative,
+				},
+				MaxVariants: 40,
+			})
+			label := "weighted"
+			if conservative {
+				label = "conservative"
+			}
+			row := AblationRow{Label: label}
+			if err == nil {
+				row.Actions = len(all) // schedulable variants
+				row.MeanDelay = all[0].Cost
+			}
+			return row, nil
 		}
-		row := AblationRow{Label: label}
-		if err == nil {
-			row.Actions = len(all) // schedulable variants
-			row.MeanDelay = all[0].Cost
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // FormatAblation renders a sweep as a table.

@@ -28,24 +28,26 @@ func RunFig10(seed int64, duration time.Duration) ([]Fig10Run, error) {
 	policies := []adapt.Policy{
 		adapt.PolicyNone, adapt.PolicyReassign, adapt.PolicyScale, adapt.PolicyReplan,
 	}
-	var runs []Fig10Run
-	for _, policy := range policies {
-		res, err := Run(Scenario{
-			Name:      fmt.Sprintf("fig10-%s", policy),
-			Seed:      seed,
-			Duration:  duration,
-			Query:     queries.TopKTopics,
-			Engine:    EngineConfig(policy),
-			Adapt:     AdaptConfig(policy),
-			Workload:  trace.Steps(phase, 1, 2, 2, 1, 1),
-			Bandwidth: trace.Steps(phase, 1, 1, 0.5, 0.5, 1),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", policy, err)
+	jobs := make([]func() (Fig10Run, error), len(policies))
+	for i, policy := range policies {
+		jobs[i] = func() (Fig10Run, error) {
+			res, err := Run(Scenario{
+				Name:      fmt.Sprintf("fig10-%s", policy),
+				Seed:      seed,
+				Duration:  duration,
+				Query:     queries.TopKTopics,
+				Engine:    EngineConfig(policy),
+				Adapt:     AdaptConfig(policy),
+				Workload:  trace.Steps(phase, 1, 2, 2, 1, 1),
+				Bandwidth: trace.Steps(phase, 1, 1, 0.5, 0.5, 1),
+			})
+			if err != nil {
+				return Fig10Run{}, fmt.Errorf("fig10 %s: %w", policy, err)
+			}
+			return Fig10Run{Policy: policy, Result: res}, nil
 		}
-		runs = append(runs, Fig10Run{Policy: policy, Result: res})
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // FormatFig10 renders the three panels of Figure 10: the delay CDF, the

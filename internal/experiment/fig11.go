@@ -27,26 +27,28 @@ func RunFig11(seed int64, duration time.Duration) ([]Fig11Run, error) {
 		duration = 1800 * time.Second
 	}
 	policies := []adapt.Policy{adapt.PolicyNone, adapt.PolicyDegrade, adapt.PolicyWASP}
-	var runs []Fig11Run
-	for _, policy := range policies {
-		res, err := Run(Scenario{
-			Name:              fmt.Sprintf("fig11-%s", policy),
-			Seed:              seed,
-			Duration:          duration,
-			Query:             queries.TopKTopics,
-			Engine:            EngineConfig(policy),
-			Adapt:             AdaptConfig(policy),
-			PerSourceWorkload: true,
-			PerLinkBandwidth:  true,
-			FailAt:            duration * 3 / 10,
-			FailFor:           duration / 30,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fig11 %s: %w", policy, err)
+	jobs := make([]func() (Fig11Run, error), len(policies))
+	for i, policy := range policies {
+		jobs[i] = func() (Fig11Run, error) {
+			res, err := Run(Scenario{
+				Name:              fmt.Sprintf("fig11-%s", policy),
+				Seed:              seed,
+				Duration:          duration,
+				Query:             queries.TopKTopics,
+				Engine:            EngineConfig(policy),
+				Adapt:             AdaptConfig(policy),
+				PerSourceWorkload: true,
+				PerLinkBandwidth:  true,
+				FailAt:            duration * 3 / 10,
+				FailFor:           duration / 30,
+			})
+			if err != nil {
+				return Fig11Run{}, fmt.Errorf("fig11 %s: %w", policy, err)
+			}
+			return Fig11Run{Policy: policy, Result: res}, nil
 		}
-		runs = append(runs, Fig11Run{Policy: policy, Result: res})
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // FormatFig11 renders Figure 11(b) and 11(c): average delay over time and

@@ -52,41 +52,43 @@ func RunFig13(seed int64) ([]Fig13Run, error) {
 	strategies := []adapt.MigrationStrategy{
 		adapt.MigrateNone, adapt.MigrateNetworkAware, adapt.MigrateRandom, adapt.MigrateDistant,
 	}
-	var runs []Fig13Run
-	for _, strat := range strategies {
-		b, err := newMigBench(seed, stateBytes)
-		if err != nil {
-			return nil, err
+	jobs := make([]func() (Fig13Run, error), len(strategies))
+	for i, strat := range strategies {
+		jobs[i] = func() (Fig13Run, error) {
+			b, err := newMigBench(seed, stateBytes)
+			if err != nil {
+				return Fig13Run{}, err
+			}
+			if err := b.runUntil(adaptAt); err != nil {
+				return Fig13Run{}, err
+			}
+			dests := b.candidateDests(b.sched.Now())
+			if len(dests) == 0 {
+				return Fig13Run{}, fmt.Errorf("fig13: no feasible destination")
+			}
+			dest := pickDest(dests, strat)
+			bytes := stateBytes
+			if strat == adapt.MigrateNone {
+				bytes = 0
+			}
+			doneAt, err := b.moveStage([]topology.SiteID{dest}, bytes)
+			if err != nil {
+				return Fig13Run{}, err
+			}
+			if err := b.runUntil(runFor); err != nil {
+				return Fig13Run{}, err
+			}
+			overhead := measureOverhead(b.samples, vclock.Time(adaptAt), *doneAt, threshold)
+			window := Window(b.samples, vclock.Time(adaptAt), vclock.Time(runFor))
+			return Fig13Run{
+				Strategy: strat,
+				Overhead: overhead,
+				Peak95:   Percentile(window, 0.95),
+				Samples:  b.samples,
+			}, nil
 		}
-		if err := b.runUntil(adaptAt); err != nil {
-			return nil, err
-		}
-		dests := b.candidateDests(b.sched.Now())
-		if len(dests) == 0 {
-			return nil, fmt.Errorf("fig13: no feasible destination")
-		}
-		dest := pickDest(dests, strat)
-		bytes := stateBytes
-		if strat == adapt.MigrateNone {
-			bytes = 0
-		}
-		doneAt, err := b.moveStage([]topology.SiteID{dest}, bytes)
-		if err != nil {
-			return nil, err
-		}
-		if err := b.runUntil(runFor); err != nil {
-			return nil, err
-		}
-		overhead := measureOverhead(b.samples, vclock.Time(adaptAt), *doneAt, threshold)
-		window := Window(b.samples, vclock.Time(adaptAt), vclock.Time(runFor))
-		runs = append(runs, Fig13Run{
-			Strategy: strat,
-			Overhead: overhead,
-			Peak95:   Percentile(window, 0.95),
-			Samples:  b.samples,
-		})
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // pickDest selects the destination per strategy from candidates sorted by

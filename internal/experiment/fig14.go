@@ -32,20 +32,31 @@ func RunFig14(seed int64) ([]Fig14Run, error) {
 		maxParts  = 4
 	)
 	sizes := []int{0, 32, 64, 128, 256, 512}
-	var runs []Fig14Run
+	type cell struct {
+		partitioned bool
+		sizeMB      int
+	}
+	var cells []cell
 	for _, partitioned := range []bool{false, true} {
 		for _, sizeMB := range sizes {
+			cells = append(cells, cell{partitioned: partitioned, sizeMB: sizeMB})
+		}
+	}
+	jobs := make([]func() (Fig14Run, error), len(cells))
+	for i, c := range cells {
+		jobs[i] = func() (Fig14Run, error) {
+			partitioned, sizeMB := c.partitioned, c.sizeMB
 			b, err := newMigBench(seed, float64(sizeMB)*1e6)
 			if err != nil {
-				return nil, err
+				return Fig14Run{}, err
 			}
 			if err := b.runUntil(adaptAt); err != nil {
-				return nil, err
+				return Fig14Run{}, err
 			}
 			now := b.sched.Now()
 			dests := b.candidateDests(now)
 			if len(dests) == 0 {
-				return nil, fmt.Errorf("fig14: no feasible destination")
+				return Fig14Run{}, fmt.Errorf("fig14: no feasible destination")
 			}
 			cur := b.eng.Plan().Stages[b.stageOp].Sites[0]
 
@@ -72,10 +83,10 @@ func RunFig14(seed int64) ([]Fig14Run, error) {
 			chosen := append([]topology.SiteID(nil), dests[:parts]...)
 			doneAt, err := b.moveStage(chosen, float64(sizeMB)*1e6/float64(parts))
 			if err != nil {
-				return nil, err
+				return Fig14Run{}, err
 			}
 			if err := b.runUntil(runFor); err != nil {
-				return nil, err
+				return Fig14Run{}, err
 			}
 			done := *doneAt
 			if done == 0 {
@@ -83,16 +94,16 @@ func RunFig14(seed int64) ([]Fig14Run, error) {
 			}
 			overhead := measureOverhead(b.samples, vclock.Time(adaptAt), done, threshold)
 			window := Window(b.samples, vclock.Time(adaptAt), vclock.Time(runFor))
-			runs = append(runs, Fig14Run{
+			return Fig14Run{
 				StateMB:     sizeMB,
 				Partitioned: partitioned,
 				Overhead:    overhead,
 				Delay95:     Percentile(window, 0.95),
 				Parts:       parts,
-			})
+			}, nil
 		}
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // FormatFig14 renders the 95th-percentile delay and overhead breakdown

@@ -65,30 +65,41 @@ func RunFig8(seed int64, duration time.Duration) ([]Fig8Run, error) {
 	}
 	phase := duration / 5
 	policies := []adapt.Policy{adapt.PolicyNone, adapt.PolicyDegrade, adapt.PolicyWASP}
-	var runs []Fig8Run
+	type cell struct {
+		qname   string
+		builder QueryBuilder
+		policy  adapt.Policy
+	}
+	var cells []cell
 	for _, qname := range []string{"ysb", "topk", "eoi"} {
 		builder, err := QueryByName(qname)
 		if err != nil {
 			return nil, err
 		}
 		for _, policy := range policies {
+			cells = append(cells, cell{qname: qname, builder: builder, policy: policy})
+		}
+	}
+	jobs := make([]func() (Fig8Run, error), len(cells))
+	for i, c := range cells {
+		jobs[i] = func() (Fig8Run, error) {
 			res, err := Run(Scenario{
-				Name:      fmt.Sprintf("fig8-%s-%s", qname, policy),
+				Name:      fmt.Sprintf("fig8-%s-%s", c.qname, c.policy),
 				Seed:      seed,
 				Duration:  duration,
-				Query:     builder,
-				Engine:    EngineConfig(policy),
-				Adapt:     AdaptConfig(policy),
+				Query:     c.builder,
+				Engine:    EngineConfig(c.policy),
+				Adapt:     AdaptConfig(c.policy),
 				Workload:  trace.Steps(phase, 1, 2, 1, 1, 1),
 				Bandwidth: trace.Steps(phase, 1, 1, 1, 0.5, 1),
 			})
 			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", qname, policy, err)
+				return Fig8Run{}, fmt.Errorf("%s/%s: %w", c.qname, c.policy, err)
 			}
-			runs = append(runs, Fig8Run{Query: qname, Policy: policy, Result: res})
+			return Fig8Run{Query: c.qname, Policy: c.policy, Result: res}, nil
 		}
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // phaseBounds returns the five phase windows of a fig8/fig10-style run.

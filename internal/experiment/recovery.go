@@ -83,47 +83,49 @@ func RunRecovery(seed int64) ([]RecoveryRun, error) {
 		outage   = 300 * time.Second
 	)
 	intervals := []time.Duration{0, 10 * time.Second, 30 * time.Second, 60 * time.Second, 120 * time.Second}
-	var runs []RecoveryRun
-	for _, interval := range intervals {
-		res, err := Run(Scenario{
-			Name:            fmt.Sprintf("recovery-ckpt-%v", interval),
-			Seed:            seed,
-			Duration:        duration,
-			Engine:          EngineConfig(adapt.PolicyWASP),
-			Adapt:           AdaptConfig(adapt.PolicyWASP),
-			CheckpointEvery: interval,
-			FaultsFor: func(pp *physical.Plan, top *topology.Topology) []faults.Fault {
-				return []faults.Fault{{
-					Kind: faults.SiteCrash, At: crashAt, For: outage,
-					Site: crashTargetSite(pp),
-				}}
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		run := RecoveryRun{
-			CheckpointEvery: interval,
-			Lost:            res.Lost,
-			Restored:        res.Restored,
-			NetLost:         res.Lost - res.Restored,
-			ProcessedPct:    res.ProcessedPct,
-			Degraded:        movableDegraded(res),
-			Actions:         len(res.Actions),
-		}
-		for _, a := range res.Actions {
-			if a.Kind == adapt.ActionRecover {
-				run.Recovered = true
+	jobs := make([]func() (RecoveryRun, error), len(intervals))
+	for i, interval := range intervals {
+		jobs[i] = func() (RecoveryRun, error) {
+			res, err := Run(Scenario{
+				Name:            fmt.Sprintf("recovery-ckpt-%v", interval),
+				Seed:            seed,
+				Duration:        duration,
+				Engine:          EngineConfig(adapt.PolicyWASP),
+				Adapt:           AdaptConfig(adapt.PolicyWASP),
+				CheckpointEvery: interval,
+				FaultsFor: func(pp *physical.Plan, top *topology.Topology) []faults.Fault {
+					return []faults.Fault{{
+						Kind: faults.SiteCrash, At: crashAt, For: outage,
+						Site: crashTargetSite(pp),
+					}}
+				},
+			})
+			if err != nil {
+				return RecoveryRun{}, err
 			}
-		}
-		for _, ev := range res.Obs.Events("recovery.complete") {
-			if rt := ev.Get("recovery_time").Duration(); rt > run.RecoveryTime {
-				run.RecoveryTime = rt
+			run := RecoveryRun{
+				CheckpointEvery: interval,
+				Lost:            res.Lost,
+				Restored:        res.Restored,
+				NetLost:         res.Lost - res.Restored,
+				ProcessedPct:    res.ProcessedPct,
+				Degraded:        movableDegraded(res),
+				Actions:         len(res.Actions),
 			}
+			for _, a := range res.Actions {
+				if a.Kind == adapt.ActionRecover {
+					run.Recovered = true
+				}
+			}
+			for _, ev := range res.Obs.Events("recovery.complete") {
+				if rt := ev.Get("recovery_time").Duration(); rt > run.RecoveryTime {
+					run.RecoveryTime = rt
+				}
+			}
+			return run, nil
 		}
-		runs = append(runs, run)
 	}
-	return runs, nil
+	return runJobs(Parallelism(), jobs)
 }
 
 // FormatRecovery renders the failure-recovery sweep.

@@ -12,7 +12,7 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
@@ -95,6 +95,24 @@ type Network struct {
 	telUtil      *obs.Histogram
 	telFlows     *obs.Gauge
 	telTransfers *obs.Gauge
+
+	// sc is Step's retained scratch: the per-link claimant lists, sorted
+	// ID/key slices, and fair-share work vectors are reused across Steps
+	// so the steady-state step is allocation-free.
+	sc stepScratch
+}
+
+// stepScratch holds Step's reusable buffers. byLink keeps its keys across
+// Steps (each list is reset to length zero, not deleted); links whose
+// traffic vanished contribute empty claimant lists, which every consumer
+// skips, so stale keys cannot affect allocations or telemetry sums.
+type stepScratch struct {
+	byLink      map[linkKey][]claimant
+	flowIDs     []int
+	transferIDs []int
+	linkKeys    []linkKey
+	alloc       []float64
+	idx         []int
 }
 
 // New creates a Network over the given topology with no dynamics (factor 1
@@ -276,12 +294,21 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 
 	// Claimants are gathered in ascending-ID order so that fair-share
 	// tie-breaking (and therefore the whole simulation) is deterministic.
-	byLink := make(map[linkKey][]claimant)
-	for _, id := range detutil.SortedKeys(n.flows) {
+	// All per-step slices come from the retained scratch (see stepScratch).
+	if n.sc.byLink == nil {
+		n.sc.byLink = make(map[linkKey][]claimant)
+	}
+	byLink := n.sc.byLink
+	for k := range byLink {
+		byLink[k] = byLink[k][:0] // per-key reset; no cross-key effect
+	}
+	n.sc.flowIDs = detutil.SortedKeysInto(n.flows, n.sc.flowIDs[:0])
+	for _, id := range n.sc.flowIDs {
 		f := n.flows[id]
 		byLink[linkKey{f.From, f.To}] = append(byLink[linkKey{f.From, f.To}], claimant{demand: f.demand, flow: f})
 	}
-	transferIDs := detutil.SortedKeys(n.transfers)
+	n.sc.transferIDs = detutil.SortedKeysInto(n.transfers, n.sc.transferIDs[:0])
+	transferIDs := n.sc.transferIDs
 	for _, id := range transferIDs {
 		t := n.transfers[id]
 		// A transfer wants to finish within this step if it can.
@@ -290,8 +317,11 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 	}
 
 	for key, cs := range byLink {
+		if len(cs) == 0 {
+			continue // stale scratch entry: the link has no traffic this step
+		}
 		capacity := n.Capacity(key.from, key.to, start)
-		alloc := maxMinFairShare(capacity, cs)
+		alloc := n.fairShareInto(capacity, cs)
 		for i, c := range cs {
 			if c.flow != nil {
 				c.flow.allocated = alloc[i]
@@ -322,12 +352,13 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 // Links are visited in sorted order so float accumulation is identical
 // across same-seed runs (map order must not leak into exports).
 func (n *Network) recordStepTelemetry(byLink map[linkKey][]claimant, start vclock.Time, dtSec float64) {
-	keys := detutil.SortedKeysFunc(byLink, func(a, b linkKey) bool {
+	n.sc.linkKeys = detutil.SortedKeysFuncInto(byLink, n.sc.linkKeys[:0], func(a, b linkKey) bool {
 		if a.from != b.from {
 			return a.from < b.from
 		}
 		return a.to < b.to
 	})
+	keys := n.sc.linkKeys
 	var granted, unmet float64
 	for _, k := range keys {
 		capacity := n.Capacity(k.from, k.to, start)
@@ -355,21 +386,38 @@ func (n *Network) recordStepTelemetry(byLink map[linkKey][]claimant, start vcloc
 	n.telTransfers.Set(float64(len(n.transfers)))
 }
 
-// maxMinFairShare computes the max-min fair allocation of `capacity` among
+// fairShareInto computes the max-min fair allocation of `capacity` among
 // claimants with the given demands: claimants that demand less than the
 // equal share keep their demand; the remainder is split among the rest,
-// iteratively (progressive filling).
-func maxMinFairShare(capacity float64, cs []claimant) []float64 {
-	alloc := make([]float64, len(cs))
+// iteratively (progressive filling). The returned slice is the Network's
+// retained scratch, valid until the next call. Ties in demand are broken
+// by claimant position (ascending registration ID, since callers gather
+// claimants in sorted-ID order), keeping the allocation deterministic.
+func (n *Network) fairShareInto(capacity float64, cs []claimant) []float64 {
+	alloc := n.sc.alloc[:0]
+	for range cs {
+		alloc = append(alloc, 0)
+	}
+	n.sc.alloc = alloc
 	if capacity <= 0 || len(cs) == 0 {
 		return alloc
 	}
-	// Sort indices by demand ascending.
-	idx := make([]int, len(cs))
-	for i := range idx {
-		idx[i] = i
+	// Sort indices by demand ascending, position-stable.
+	idx := n.sc.idx[:0]
+	for i := range cs {
+		idx = append(idx, i)
 	}
-	sort.Slice(idx, func(a, b int) bool { return cs[idx[a]].demand < cs[idx[b]].demand })
+	n.sc.idx = idx
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case cs[a].demand < cs[b].demand:
+			return -1
+		case cs[a].demand > cs[b].demand:
+			return 1
+		default:
+			return a - b
+		}
+	})
 
 	remaining := capacity
 	left := len(cs)

@@ -240,6 +240,7 @@ func TestLatency(t *testing.T) {
 // claimant's demand, and is work-conserving (if total demand >= capacity,
 // the full capacity is granted).
 func TestMaxMinFairShareProperties(t *testing.T) {
+	n := New(twoSite(t))
 	err := quick.Check(func(rawCap uint16, rawDemands []uint16) bool {
 		capacity := float64(rawCap)
 		cs := make([]claimant, len(rawDemands))
@@ -248,7 +249,7 @@ func TestMaxMinFairShareProperties(t *testing.T) {
 			cs[i] = claimant{demand: float64(d)}
 			total += float64(d)
 		}
-		alloc := maxMinFairShare(capacity, cs)
+		alloc := n.fairShareInto(capacity, cs)
 		var granted float64
 		for i, a := range alloc {
 			if a < 0 || a > cs[i].demand+1e-9 {
