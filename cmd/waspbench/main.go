@@ -10,9 +10,11 @@
 //
 // Experiments: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 tab2
 // tab3, the extensions (straggler, ablation-alpha, ablation-monitor,
-// ablation-constraints), or "all". Figures 8/9 and 11/12 share underlying
-// runs; requesting either member executes the runs once and prints the
-// requested panels.
+// ablation-constraints, chaos), or "all". Figures 8/9 and 11/12 share
+// underlying runs; requesting either member executes the runs once and
+// prints the requested panels. "chaos" sweeps randomized fault schedules
+// over 8 seeds starting at -seed and checks the run-end invariants; its
+// output is byte-identical for the same seeds.
 //
 // -j sets the experiment worker-pool width (default GOMAXPROCS): the
 // cells of each scenario grid run concurrently but results come back in
@@ -308,6 +310,24 @@ func run(name string, seed int64, duration time.Duration, rec *recorder) error {
 				return err
 			}
 			fmt.Println(experiment.FormatAblation("Ablation: monitoring interval (§8.2)", rows))
+			return nil
+		}); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("chaos") {
+		if err := rec.measure("chaos", func() error {
+			runs, err := experiment.RunChaos(seed, 8, duration)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatChaos(runs))
+			for _, r := range runs {
+				if len(r.Violations) > 0 {
+					return fmt.Errorf("chaos: seed %d violated %d invariant(s)", r.Seed, len(r.Violations))
+				}
+			}
 			return nil
 		}); err != nil {
 			return err

@@ -43,9 +43,12 @@ import (
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/chaos"
 	"github.com/wasp-stream/wasp/internal/experiment"
 	"github.com/wasp-stream/wasp/internal/faults"
 	"github.com/wasp-stream/wasp/internal/obs"
+	"github.com/wasp-stream/wasp/internal/physical"
+	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/trace"
 	"github.com/wasp-stream/wasp/internal/vclock"
 )
@@ -63,6 +66,7 @@ type options struct {
 	failAt    time.Duration
 	failFor   time.Duration
 	faults    string
+	chaosSeed int64
 	ckptEvery time.Duration
 	obsOut    string
 	obsFormat string
@@ -82,6 +86,7 @@ func main() {
 	flag.DurationVar(&opt.failAt, "fail-at", 0, "inject a full failure at this time (0 = none)")
 	flag.DurationVar(&opt.failFor, "fail-for", time.Minute, "failure outage length")
 	flag.StringVar(&opt.faults, "fault", "", "partial-fault script, e.g. \"crash@5m:site=3,for=2m; slow@8m:site=1,factor=0.5,for=1m\"")
+	flag.Int64Var(&opt.chaosSeed, "chaos-seed", 0, "generate a randomized fault schedule from this seed and check run-end invariants (0 = off)")
 	flag.DurationVar(&opt.ckptEvery, "checkpoint-every", 0, "checkpoint interval for crash recovery (0 = no checkpointing)")
 	flag.StringVar(&opt.obsOut, "obs-out", "", "write the observability record to this file (\"-\" = stdout)")
 	flag.StringVar(&opt.obsFormat, "obs-format", "jsonl", "observability output format: jsonl | prom | audit")
@@ -212,6 +217,16 @@ func run(opt options) error {
 	}
 	sc.Faults = fs
 	sc.CheckpointEvery = opt.ckptEvery
+	if opt.chaosSeed != 0 {
+		sc.FaultsFor = func(_ *physical.Plan, top *topology.Topology) []faults.Fault {
+			schedule := chaos.Generate(opt.chaosSeed, chaos.Config{
+				Sites:    top.N(),
+				Duration: opt.duration,
+			})
+			fmt.Printf("chaos schedule (seed %d): %s\n", opt.chaosSeed, experiment.FaultScript(schedule))
+			return schedule
+		}
+	}
 
 	fmt.Printf("waspd: running %s under policy %s for %v (seed %d)\n", opt.query, policy, opt.duration, opt.seed)
 	res, err := experiment.Run(sc)
@@ -250,6 +265,19 @@ func run(opt options) error {
 		experiment.Fmt(res.DelayPercentile(0.50)),
 		experiment.Fmt(res.DelayPercentile(0.95)),
 		experiment.Fmt(res.DelayPercentile(0.99)))
+
+	if opt.chaosSeed != 0 {
+		violations := chaos.Check(*res.Final, experiment.ChaosRecoveryBound)
+		fmt.Println("\nChaos invariants:")
+		if len(violations) == 0 {
+			fmt.Println("  all invariants hold")
+		} else {
+			for _, v := range violations {
+				fmt.Printf("  FAIL %s\n", v)
+			}
+			return fmt.Errorf("chaos: %d invariant violation(s)", len(violations))
+		}
+	}
 
 	if opt.verbose {
 		fmt.Println("\nDecision audit:")

@@ -84,8 +84,14 @@ func (c *Controller) tryReassign(id plan.OpID) bool {
 		c.reject("re-assign", "solver kept the current placement")
 		return false
 	}
+	if c.reversalGuarded(id, newSites) {
+		c.reject("reversal-guard",
+			fmt.Sprintf("would undo a placement younger than %d rounds", c.cfg.ReversalGuardRounds),
+			obs.Int("op", int(id)))
+		return false
+	}
 	migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
-	if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+	if err := c.reconfigure(id, newSites, migs, nil); err != nil {
 		c.reject("re-assign", "engine: "+err.Error())
 		return false
 	}
@@ -136,7 +142,7 @@ func (c *Controller) scaleForCompute(id plan.OpID, snap *metrics.Snapshot, expec
 		return false
 	}
 	migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
-	if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+	if err := c.reconfigure(id, newSites, migs, nil); err != nil {
 		c.reject("scale-up", "engine: "+err.Error())
 		return false
 	}
@@ -243,7 +249,7 @@ func (c *Controller) scaleForNetwork(id plan.OpID, expectedIn map[plan.OpID]floa
 			newSites := append(append([]topology.SiteID(nil), cur...), placementSites(pl)...)
 			sortSites(newSites)
 			migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
-			if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+			if err := c.reconfigure(id, newSites, migs, nil); err != nil {
 				c.reject("scale-out", "engine: "+err.Error())
 				return false
 			}
@@ -261,7 +267,7 @@ func (c *Controller) scaleForNetwork(id plan.OpID, expectedIn map[plan.OpID]floa
 		}
 		newSites := placementSites(pl)
 		migs, bottleneck := c.buildMigrations(id, newSites, c.cfg.Migration)
-		if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+		if err := c.reconfigure(id, newSites, migs, nil); err != nil {
 			c.reject("scale-out", "engine: "+err.Error())
 			return false
 		}
@@ -289,7 +295,7 @@ func (c *Controller) scaleToPartition(id plan.OpID) bool {
 		if bottleneck > vclock.Time(c.cfg.TMax) && pPrime < c.cfg.PMax {
 			continue
 		}
-		if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+		if err := c.reconfigure(id, newSites, migs, nil); err != nil {
 			c.reject("scale-out", "engine: "+err.Error())
 			return false
 		}
@@ -347,6 +353,9 @@ func (c *Controller) maybeScaleDown(now vclock.Time, snap *metrics.Snapshot, exp
 		if s.InputQueueLen > c.capacityOf(id, p)*1.0 {
 			continue // still draining
 		}
+		if _, _, held := c.heldDown(id, now); held {
+			continue // backing off or cooling down; reclaim next round
+		}
 		newSites, ok := c.chooseScaleDown(id)
 		if !ok {
 			continue
@@ -354,7 +363,7 @@ func (c *Controller) maybeScaleDown(now vclock.Time, snap *metrics.Snapshot, exp
 		migs, _ := c.buildMigrations(id, newSites, c.cfg.Migration)
 		c.beginDecision(id, "over-provisioned",
 			obs.F64("lambda_in_hat", expectedIn[id]), obs.Int("p", p))
-		if err := c.eng.Reconfigure(id, newSites, migs, nil); err != nil {
+		if err := c.reconfigure(id, newSites, migs, nil); err != nil {
 			c.reject("scale-down", "engine: "+err.Error())
 			c.endDecision(false)
 			continue

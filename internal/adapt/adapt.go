@@ -183,6 +183,28 @@ type Config struct {
 	// §6.2 treatment of long-term, predictable dynamics (e.g. the daily
 	// workload shift). Zero disables it.
 	LongTermReplanEvery time.Duration
+	// StallAfter is the no-progress deadline for in-flight adaptations: a
+	// reconfiguration whose transfers moved no bytes — or a re-plan whose
+	// drain shrank no backlog — for this long is aborted and retried
+	// (default 90 s).
+	StallAfter time.Duration
+	// RetryBudget caps abort→retry cycles per operator. Once exhausted the
+	// controller rolls back: the stage keeps its old placement and the
+	// operator is left alone for an extended backoff (default 3).
+	RetryBudget int
+	// RetryBackoff is the base delay before re-attempting an action after
+	// an abort, doubling with each failed attempt (default 20 s). The
+	// first abort retries immediately — backoff starts at the second.
+	RetryBackoff time.Duration
+	// ActionCooldown is the anti-flap hold-down: after an action on an
+	// operator completes, no further adaptation touches it until the
+	// cooldown passes (default 10 s).
+	ActionCooldown time.Duration
+	// ReversalGuardRounds refuses a re-assignment that would restore an
+	// operator's previous placement while the current one is younger than
+	// this many monitoring rounds — oscillating conditions otherwise flap
+	// state back and forth over the WAN (default 3).
+	ReversalGuardRounds int
 }
 
 func (c Config) withDefaults() Config {
@@ -219,6 +241,21 @@ func (c Config) withDefaults() Config {
 	if c.Migration == 0 {
 		c.Migration = MigrateNetworkAware
 	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 90 * time.Second
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 20 * time.Second
+	}
+	if c.ActionCooldown == 0 {
+		c.ActionCooldown = 10 * time.Second
+	}
+	if c.ReversalGuardRounds == 0 {
+		c.ReversalGuardRounds = 3
+	}
 	return c
 }
 
@@ -241,6 +278,16 @@ type Controller struct {
 	recovery  *RecoveryManager
 	crashedAt map[topology.SiteID]vclock.Time
 	degraded  map[plan.OpID]bool
+
+	// Fault-tolerant adaptation state (supervise.go): monitoring rounds
+	// seen, per-operator anti-flap bookkeeping stamped when an action
+	// completes (cooldown expiry, the placement it replaced and the round
+	// it landed), and the per-operator retry ledger for aborted actions.
+	roundCount int
+	cooldown   map[plan.OpID]vclock.Time
+	prevSites  map[plan.OpID][]topology.SiteID
+	placedAt   map[plan.OpID]int
+	retries    map[plan.OpID]*retryState
 
 	obs      *obs.Observer
 	decision *obs.Span
@@ -342,9 +389,14 @@ func (c *Controller) Round(now vclock.Time) {
 	if c.cfg.Policy == PolicyNone || c.cfg.Policy == PolicyDegrade {
 		return
 	}
+	c.roundCount++
 	round := c.obs.StartSpan("controller.round", obs.String("policy", c.cfg.Policy.String()))
 	c.obs.Registry().Counter("wasp_controller_rounds_total").Inc()
-	// Failure recovery first: dead tasks outrank slow ones. This is also
+	// Supervise in-flight adaptations first: a doomed or stalled
+	// reconfiguration must be aborted before recovery or diagnosis can
+	// touch its stage (both skip reconfiguring operators).
+	c.superviseInFlight(now)
+	// Failure recovery next: dead tasks outrank slow ones. This is also
 	// the backstop detector — degraded stages retry here every round.
 	c.RecoverDownSites()
 	wall := c.obs.Wall()
@@ -403,6 +455,10 @@ func (c *Controller) adaptBottleneck(now vclock.Time, snap *metrics.Snapshot, ex
 		cond := c.diagnose(id, snap, expectedIn)
 		c.emitDiagnosis(id, cond, snap.Ops[id], expectedIn[id])
 		if cond == metrics.Healthy {
+			continue
+		}
+		if branch, reason, held := c.heldDown(id, now); held {
+			c.reject(branch, reason, obs.Int("op", int(id)))
 			continue
 		}
 		return c.act(now, id, cond, snap, expectedIn)

@@ -245,6 +245,15 @@ func (c *Controller) RecoverDownSites() {
 		if c.eng.Reconfiguring(id) {
 			continue // recovery (or another adaptation) already in flight
 		}
+		if held, until := c.retryHeld(id, c.sched.Now()); held {
+			// Aborted recovery attempts back off exponentially; the Round
+			// backstop re-enters here once the ledger clears. Cooldown does
+			// not apply — dead tasks outrank anti-flap.
+			c.reject("retry-backoff",
+				fmt.Sprintf("recovery backing off until %v after aborted attempts", time.Duration(until)),
+				obs.Int("op", int(id)))
+			continue
+		}
 		c.recoverStage(id, hit, down, downSet)
 	}
 }
@@ -383,7 +392,7 @@ func (c *Controller) recoverStage(id plan.OpID, lost int, down []topology.SiteID
 			obs.Dur("recovery_time", time.Duration(doneAt-crashAt)))
 		c.obs.Registry().Counter("wasp_recoveries_total").Inc()
 	}
-	if err := c.eng.Reconfigure(id, newSites, migs, onDone); err != nil {
+	if err := c.reconfigure(id, newSites, migs, onDone); err != nil {
 		c.reject("re-assign", "engine: "+err.Error())
 		c.endDecision(false)
 		return false

@@ -40,8 +40,11 @@ func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 
 	carry := c.carryMap(c.replan.Current, best.Variant)
 	newVariant := best.Variant
-	if err := c.eng.BeginReplan(best.Plan, carry, func(vclock.Time) {
+	if err := c.eng.BeginReplan(best.Plan, carry, func(doneAt vclock.Time) {
 		c.replan.Current = newVariant
+		// Stamp the anti-flap cooldown on the operator that triggered the
+		// switch so the next round does not immediately re-adapt it.
+		c.noteCompleted(id, nil, doneAt)
 	}); err != nil {
 		c.reject("re-plan", "engine: "+err.Error())
 		return false

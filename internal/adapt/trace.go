@@ -32,6 +32,8 @@ func (c *Controller) describeMetrics() {
 	r.Describe("wasp_controller_actions_total", "Adaptation actions performed, by kind.")
 	r.Describe("wasp_controller_rejects_total", "Figure-6 branches considered and rejected, by branch.")
 	r.Describe("wasp_controller_round_seconds", "Wall-clock latency of one controller round (requires SetWallClock).")
+	r.Describe("wasp_adapt_aborts_total", "In-flight adaptations aborted (doomed or stalled), by kind.")
+	r.Describe("wasp_adapt_rollbacks_total", "Operators rolled back after exhausting the retry budget.")
 }
 
 // beginDecision opens the decision span for one bottleneck operator. All

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// RunStats is the end-of-run state the invariant checker judges. The
+// experiment layer fills it from the engine and network after the
+// scheduler stops.
+type RunStats struct {
+	// Conservation is the engine's source-equivalent balance.
+	Conservation engine.Conservation
+	// SuspendedOps lists operators with suspended groups at end of run.
+	SuspendedOps []plan.OpID
+	// PendingReconfigs counts reconfigurations still in flight.
+	PendingReconfigs int
+	// Replanning reports an unfinished plan switch.
+	Replanning bool
+	// ActiveTransfers counts bulk transfers still in the network.
+	ActiveTransfers int
+	// DownSites lists sites still crashed at end of run.
+	DownSites []topology.SiteID
+	// MaxRecovery is the slowest completed site-failure recovery.
+	MaxRecovery time.Duration
+}
+
+// Violation is one broken invariant.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
+
+// Check judges the run against the chaos invariants, in a fixed order:
+//
+//  1. conservation — generated = delivered + dropped + net-lost + in-flight,
+//     discounting the at-least-once replay surplus of checkpoint restores;
+//  2. no-suspended-stages — every fault and adaptation released its holds;
+//  3. no-pending-adaptation — no reconfiguration or re-plan left in flight;
+//  4. no-orphan-transfers — netsim carries no abandoned bulk transfer;
+//  5. all-sites-healed — every generated fault heals, so no site may
+//     still be down;
+//  6. recovery-bound — the slowest recovery finished within recoveryBound
+//     (0 skips the check).
+//
+// An empty result means the run was clean.
+func Check(s RunStats, recoveryBound time.Duration) []Violation {
+	var out []Violation
+	if !s.Conservation.Holds() {
+		out = append(out, Violation{"conservation",
+			fmt.Sprintf("residual %.3f exceeds eps %.3f (generated %.0f delivered %.0f dropped %.0f lost %.0f reinjected %.0f in-flight %.0f)",
+				s.Conservation.Residual(), s.Conservation.Eps(),
+				s.Conservation.Generated, s.Conservation.Delivered, s.Conservation.Dropped,
+				s.Conservation.Lost, s.Conservation.Reinjected, s.Conservation.InFlight)})
+	}
+	if len(s.SuspendedOps) > 0 {
+		out = append(out, Violation{"no-suspended-stages",
+			fmt.Sprintf("operators %v still suspended at end of run", s.SuspendedOps)})
+	}
+	if s.PendingReconfigs > 0 || s.Replanning {
+		out = append(out, Violation{"no-pending-adaptation",
+			fmt.Sprintf("%d reconfiguration(s) pending, replanning=%v", s.PendingReconfigs, s.Replanning)})
+	}
+	if s.ActiveTransfers > 0 {
+		out = append(out, Violation{"no-orphan-transfers",
+			fmt.Sprintf("%d transfer(s) still active in the network", s.ActiveTransfers)})
+	}
+	if len(s.DownSites) > 0 {
+		out = append(out, Violation{"all-sites-healed",
+			fmt.Sprintf("sites %v still down at end of run", s.DownSites)})
+	}
+	if recoveryBound > 0 && s.MaxRecovery > recoveryBound {
+		out = append(out, Violation{"recovery-bound",
+			fmt.Sprintf("slowest recovery %v exceeds bound %v", s.MaxRecovery, recoveryBound)})
+	}
+	return out
+}

@@ -89,7 +89,13 @@ type group struct {
 	// before it fire.
 	maxProcessedBorn vclock.Time
 
-	halted bool
+	// Suspension is split into two independent flags so that a manual
+	// Halt/Resume (tests, operator control) can never release — or be
+	// released by — the suspension a reconfiguration or re-plan holds.
+	// Halt/Resume touch only haltedManual; Reconfigure/BeginReplan and
+	// their aborts touch only haltedAdapt. Both are idempotent.
+	haltedManual bool
+	haltedAdapt  bool
 
 	// Counters since the last Sample call.
 	arrived       float64
@@ -103,6 +109,10 @@ type group struct {
 	// fires only on the false→true transition (observability only).
 	bpActive bool
 }
+
+// suspended reports whether the group is withheld from processing by
+// either suspension source.
+func (g *group) suspended() bool { return g.haltedManual || g.haltedAdapt }
 
 // capacity returns the group's processing budget in events/s.
 func (g *group) capacity(slotRate float64) float64 {
@@ -172,17 +182,23 @@ type Engine struct {
 	restoredSrcEquiv  float64
 	lostBeyondSrc     float64
 	restoredBeyondSrc float64
+	// reinjectedSrcEquiv is the uncapped total a checkpoint restore put
+	// back into live groups. restoredSrcEquiv is capped at the loss so net
+	// loss stays honest; conservation checks need the raw amount, since
+	// replayed windows are delivered (again) downstream.
+	reinjectedSrcEquiv float64
 
 	reconfigs []*reconfiguration
 	replan    *pendingReplan
 
 	// Sink accounting.
-	sinkArrived    float64
-	sinkDelaySum   float64 // seconds·events
-	deliveries     []SinkDelivery
-	totalGenerated float64
-	totalDelivered float64
-	totalDropped   float64
+	sinkArrived       float64
+	sinkDelaySum      float64 // seconds·events
+	deliveries        []SinkDelivery
+	totalGenerated    float64
+	totalDelivered    float64
+	totalDropped      float64
+	deliveredSrcEquiv float64 // sink deliveries in source-equivalent units
 
 	// Goodput accounting in source-equivalent units (events at op X are
 	// divided by κ(X), the expected events at X's input per source event
@@ -508,6 +524,14 @@ func flowKeyLess(a, b flowKey) bool {
 	return a.toSite < b.toSite
 }
 
+// groupKeyLess is the canonical group ordering: by operator, then site.
+func groupKeyLess(a, b groupKey) bool {
+	if a.op != b.op {
+		return a.op < b.op
+	}
+	return a.site < b.site
+}
+
 // destThrottled reports whether a flow's destination refuses more input
 // (backpressure).
 func (e *Engine) destThrottled(f *edgeFlow) bool {
@@ -604,13 +628,14 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 			e.sinkArrived += c.count
 			e.sinkDelaySum += delay.Seconds() * c.count
 			e.totalDelivered += c.count
+			e.deliveredSrcEquiv += c.src()
 			g.processed += c.count
 			e.deliveries = append(e.deliveries, SinkDelivery{At: now, Delay: delay, Count: c.src()})
 			e.tel.sinkDelay.Observe(delay.Seconds())
 		}
 		return
 	}
-	if failed || g.halted {
+	if failed || g.suspended() {
 		return
 	}
 

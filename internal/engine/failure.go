@@ -60,6 +60,19 @@ func (e *Engine) CrashSite(site topology.SiteID) {
 	e.lostSrcEquiv += lost
 	e.lostBeyondSrc += lostBeyond
 
+	// Cancel in-flight migration transfers touching the crashed site: the
+	// state they carry is gone (destination) or unreachable (source), and
+	// without this they sit in netsim forever, pinning the stage suspended
+	// and the reconfiguration pending. The reconfiguration itself stays on
+	// the books so the adapt layer can observe it as doomed and abort it.
+	for _, rc := range e.reconfigs {
+		for _, tr := range rc.transfers {
+			if !tr.Done() && (tr.From == site || tr.To == site) {
+				e.net.CancelTransfer(tr)
+			}
+		}
+	}
+
 	if e.obs != nil {
 		e.obs.Emit("fault.site_crash",
 			obs.Int("site", int(site)),
@@ -230,7 +243,11 @@ func (e *Engine) RestoreOperatorState(op plan.OpID, data []byte) error {
 		}
 	}
 	// A restore can never bring back more than the crash destroyed: cap
-	// the credit so net loss (and goodput) stay honest under replay.
+	// the credit so net loss (and goodput) stay honest under replay. The
+	// uncapped total is tracked separately — conservation checking must
+	// see every source-equivalent actually reinjected, including the
+	// at-least-once surplus the cap hides.
+	e.reinjectedSrcEquiv += restored
 	e.restoredSrcEquiv += math.Min(restored, e.lostSrcEquiv-e.restoredSrcEquiv)
 	if e.pastIngest(op) {
 		e.restoredBeyondSrc += math.Min(restored, e.lostBeyondSrc-e.restoredBeyondSrc)

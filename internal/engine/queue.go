@@ -56,6 +56,16 @@ func (q *cohortQueue) push(born vclock.Time, count, worth float64, raw bool) {
 // len returns the number of queued events.
 func (q *cohortQueue) len() float64 { return q.total }
 
+// srcTotal returns the source-equivalent total across the live cohorts,
+// for conservation accounting and drain-progress measurement.
+func (q *cohortQueue) srcTotal() float64 {
+	var total float64
+	for i := q.head; i < len(q.items); i++ {
+		total += q.items[i].src()
+	}
+	return total
+}
+
 // empty reports whether the queue holds no events.
 func (q *cohortQueue) empty() bool { return q.total <= 1e-9 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/netsim"
@@ -31,6 +32,11 @@ type reconfiguration struct {
 	startedAt vclock.Time
 	finished  func(now vclock.Time)
 	span      *obs.Span
+
+	// Progress tracking for stall detection: the remaining bytes across
+	// all transfers at the last tick that moved data, and when that was.
+	lastRemaining  float64
+	lastProgressAt vclock.Time
 }
 
 // Reconfigure suspends the stage running `op`, migrates state per
@@ -70,14 +76,15 @@ func (e *Engine) Reconfigure(op plan.OpID, newSites []topology.SiteID, migration
 	}
 	for _, g := range e.opGroups(op) {
 		if oldCount[g.site] > newCount[g.site] {
-			g.halted = true
+			g.haltedAdapt = true
 		}
 	}
 	rc := &reconfiguration{
-		op:        op,
-		newSites:  append([]topology.SiteID(nil), newSites...),
-		startedAt: e.sched.Now(),
-		finished:  onDone,
+		op:             op,
+		newSites:       append([]topology.SiteID(nil), newSites...),
+		startedAt:      e.sched.Now(),
+		finished:       onDone,
+		lastProgressAt: e.sched.Now(),
 	}
 	var migBytes float64
 	for _, m := range migrations {
@@ -87,6 +94,7 @@ func (e *Engine) Reconfigure(op plan.OpID, newSites []topology.SiteID, migration
 		rc.transfers = append(rc.transfers, e.net.StartTransfer(m.FromSite, m.ToSite, m.Bytes))
 		migBytes += m.Bytes
 	}
+	rc.lastRemaining = migBytes
 	if e.obs != nil {
 		// The span parents to whatever decision span is active at the
 		// call (the controller's), and finishes when the stage resumes.
@@ -113,24 +121,127 @@ func (e *Engine) Reconfiguring(op plan.OpID) bool {
 	return false
 }
 
-// progressReconfigs finalizes reconfigurations whose transfers completed.
+// progressReconfigs finalizes reconfigurations whose transfers completed
+// and advances the per-reconfiguration progress tracking that stall
+// detection (ReconfigStatuses) reads.
 func (e *Engine) progressReconfigs(now vclock.Time) {
 	remaining := e.reconfigs[:0]
 	for _, rc := range e.reconfigs {
 		done := true
+		var left float64
 		for _, tr := range rc.transfers {
 			if !tr.Done() {
 				done = false
-				break
+				left += tr.Remaining()
 			}
 		}
 		if !done {
+			if left < rc.lastRemaining-1e-6 {
+				rc.lastRemaining = left
+				rc.lastProgressAt = now
+			}
 			remaining = append(remaining, rc)
 			continue
 		}
 		e.finalizeReconfig(rc, now)
 	}
 	e.reconfigs = remaining
+}
+
+// ReconfigStatus describes one in-flight reconfiguration for the adapt
+// layer's supervision: whether it is doomed (a transfer was canceled, an
+// endpoint site crashed, or the carrying link is blacked out) or stalled
+// (no transfer progress for at least the caller's deadline).
+type ReconfigStatus struct {
+	Op      plan.OpID
+	Age     vclock.Time // time since the reconfiguration started
+	Doomed  bool
+	Stalled bool
+	Reason  string // why it is doomed/stalled ("" when healthy)
+}
+
+// ReconfigStatuses surveys every pending reconfiguration. stallAfter is
+// the no-progress deadline for the stall verdict (≤ 0 disables stall
+// detection; doom detection always runs). Statuses come back in the
+// order the reconfigurations were started.
+func (e *Engine) ReconfigStatuses(stallAfter vclock.Time) []ReconfigStatus {
+	if len(e.reconfigs) == 0 {
+		return nil
+	}
+	now := e.sched.Now()
+	out := make([]ReconfigStatus, 0, len(e.reconfigs))
+	for _, rc := range e.reconfigs {
+		st := ReconfigStatus{Op: rc.op, Age: now - rc.startedAt}
+		for _, tr := range rc.transfers {
+			if tr.Done() {
+				continue
+			}
+			switch {
+			case tr.Canceled():
+				st.Doomed = true
+				st.Reason = fmt.Sprintf("transfer %d→%d canceled", int(tr.From), int(tr.To))
+			case e.downSites[tr.From]:
+				st.Doomed = true
+				st.Reason = fmt.Sprintf("source site %d crashed mid-transfer", int(tr.From))
+			case e.downSites[tr.To]:
+				st.Doomed = true
+				st.Reason = fmt.Sprintf("destination site %d crashed mid-transfer", int(tr.To))
+			case e.net.Capacity(tr.From, tr.To, now) <= 0:
+				st.Doomed = true
+				st.Reason = fmt.Sprintf("link %d→%d blacked out mid-transfer", int(tr.From), int(tr.To))
+			}
+			if st.Doomed {
+				break
+			}
+		}
+		if !st.Doomed && stallAfter > 0 && now-rc.lastProgressAt >= stallAfter {
+			st.Stalled = true
+			st.Reason = fmt.Sprintf("no transfer progress for %v", time.Duration(now-rc.lastProgressAt))
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// AbortReconfigure cancels the stage's in-flight reconfiguration and
+// resumes the old placement: remaining transfers are detached from the
+// network, the suspension the reconfiguration held is released, and the
+// groups keep the queues and window state they were holding — nothing was
+// carried out yet (carried state is only gathered at finalize), so no
+// requeue is needed and no stage stays halted. The reconfiguration's
+// onDone callback is never invoked.
+func (e *Engine) AbortReconfigure(op plan.OpID) error {
+	idx := -1
+	for i, rc := range e.reconfigs {
+		if rc.op == op {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("engine: operator %d is not reconfiguring", op)
+	}
+	rc := e.reconfigs[idx]
+	for _, tr := range rc.transfers {
+		if !tr.Done() {
+			e.net.CancelTransfer(tr)
+		}
+	}
+	for _, g := range e.opGroups(op) {
+		g.haltedAdapt = false
+	}
+	e.reconfigs = append(e.reconfigs[:idx], e.reconfigs[idx+1:]...)
+	now := e.sched.Now()
+	if rc.span != nil {
+		rc.span.SetAttrs(obs.Bool("aborted", true))
+		rc.span.Finish()
+	}
+	if e.obs != nil {
+		e.obs.Emit("engine.reconfigure_aborted",
+			obs.Int("op", int(op)),
+			obs.Dur("age", time.Duration(now-rc.startedAt)))
+	}
+	return nil
 }
 
 func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
@@ -230,6 +341,12 @@ type pendingReplan struct {
 	started  vclock.Time
 	finished func(now vclock.Time)
 	span     *obs.Span
+
+	// Drain-progress tracking for stall detection: the in-flight backlog
+	// outside the carried operators' custody at the last tick it shrank,
+	// and when that was.
+	lastBacklog    float64
+	lastProgressAt vclock.Time
 }
 
 // BeginReplan initiates a query re-plan (§4.3): source emission is
@@ -261,14 +378,16 @@ func (e *Engine) BeginReplan(newPlan *physical.Plan, carry map[plan.OpID]plan.Op
 	// Suspend sources: backlog accumulates externally.
 	for _, id := range e.plan.Graph.Sources() {
 		for _, g := range e.opGroups(id) {
-			g.halted = true
+			g.haltedAdapt = true
 		}
 	}
 	e.replan = &pendingReplan{
-		newPlan:  newPlan,
-		carry:    carry,
-		started:  e.sched.Now(),
-		finished: onDone,
+		newPlan:        newPlan,
+		carry:          carry,
+		started:        e.sched.Now(),
+		finished:       onDone,
+		lastBacklog:    e.drainBacklog(carry),
+		lastProgressAt: e.sched.Now(),
 	}
 	if e.obs != nil {
 		e.replan.span = e.obs.StartAsync("engine.replan",
@@ -288,6 +407,10 @@ func (e *Engine) progressReplan(now vclock.Time) {
 		return
 	}
 	if !e.drained(rp.carry) {
+		if backlog := e.drainBacklog(rp.carry); backlog < rp.lastBacklog-1e-6 {
+			rp.lastBacklog = backlog
+			rp.lastProgressAt = now
+		}
 		return
 	}
 
@@ -420,17 +543,86 @@ func (e *Engine) drained(carry map[plan.OpID]plan.OpID) bool {
 	return !fired
 }
 
+// drainBacklog measures the in-flight volume still outside the carried
+// operators' custody: cohorts queued at non-carried, non-source/sink
+// groups plus everything sitting in edge send queues. progressReplan
+// watches it shrink to detect a stalled drain.
+func (e *Engine) drainBacklog(carry map[plan.OpID]plan.OpID) float64 {
+	var total float64
+	for _, key := range detutil.SortedKeysFunc(e.flows, flowKeyLess) {
+		total += e.flows[key].q.srcTotal()
+	}
+	carriedOld := make(map[plan.OpID]bool, len(carry))
+	for oldID := range carry {
+		carriedOld[oldID] = true
+	}
+	for _, key := range detutil.SortedKeysFunc(e.groups, groupKeyLess) {
+		g := e.groups[key]
+		if g.op.Kind == plan.KindSource || g.op.Kind == plan.KindSink || carriedOld[key.op] {
+			continue
+		}
+		total += g.inQ.srcTotal()
+	}
+	return total
+}
+
+// ReplanStalled reports whether the in-flight re-plan's drain has made no
+// progress for at least stallAfter (≤ 0 always reports false). A drain
+// stalls when the backlog it is waiting on sits upstream of a crashed
+// site or a blacked-out link and can never flow out.
+func (e *Engine) ReplanStalled(stallAfter vclock.Time) bool {
+	rp := e.replan
+	if rp == nil || stallAfter <= 0 {
+		return false
+	}
+	return e.sched.Now()-rp.lastProgressAt >= stallAfter
+}
+
+// AbortReplan cancels the in-flight plan switch and resumes the old plan:
+// sources are released and the old pipeline keeps running unchanged. No
+// state was moved yet — the switch only happens after the drain completes
+// — so nothing needs requeueing. The re-plan's onDone callback is never
+// invoked. Returns an error if no re-plan is in progress.
+func (e *Engine) AbortReplan() error {
+	rp := e.replan
+	if rp == nil {
+		return errors.New("engine: no re-plan in progress")
+	}
+	for _, id := range e.plan.Graph.Sources() {
+		for _, g := range e.opGroups(id) {
+			g.haltedAdapt = false
+		}
+	}
+	e.replan = nil
+	now := e.sched.Now()
+	if rp.span != nil {
+		rp.span.SetAttrs(obs.Bool("aborted", true))
+		rp.span.Finish()
+	}
+	if e.obs != nil {
+		e.obs.Emit("engine.replan_aborted",
+			obs.Dur("age", time.Duration(now-rp.started)))
+	}
+	return nil
+}
+
 // Halt suspends processing for one operator's groups (used by tests and
-// by the adaptation layer for manual control).
+// by the adaptation layer for manual control). Idempotent: repeated
+// Halt calls are no-ops, and a manual halt never interferes with the
+// suspension an in-flight reconfiguration or re-plan holds — the two are
+// tracked separately, so Halt during a replan cannot corrupt the drain.
 func (e *Engine) Halt(op plan.OpID) {
 	for _, g := range e.opGroups(op) {
-		g.halted = true
+		g.haltedManual = true
 	}
 }
 
-// Resume releases a Halt.
+// Resume releases a Halt. Idempotent: resuming an operator that was
+// never halted is a no-op, and Resume only clears the manual flag — it
+// can never release the suspension held by an in-flight reconfiguration
+// or re-plan, so repeated Halt/Resume cycles during a replan are safe.
 func (e *Engine) Resume(op plan.OpID) {
 	for _, g := range e.opGroups(op) {
-		g.halted = false
+		g.haltedManual = false
 	}
 }

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunChaosSweepHoldsInvariants(t *testing.T) {
+	runs, err := RunChaos(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(runs))
+	}
+	for _, r := range runs {
+		if len(r.Faults) == 0 {
+			t.Errorf("seed %d: empty fault schedule", r.Seed)
+		}
+		if len(r.Violations) > 0 {
+			t.Errorf("seed %d violated invariants under schedule %q:", r.Seed, FaultScript(r.Faults))
+			for _, v := range r.Violations {
+				t.Errorf("  %s", v)
+			}
+		}
+		if r.ProcessedPct <= 0 {
+			t.Errorf("seed %d processed nothing", r.Seed)
+		}
+	}
+}
+
+func TestRunChaosOutputByteIdentical(t *testing.T) {
+	a, err := RunChaos(5, 3, 600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(5, 3, 600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa, fb := FormatChaos(a), FormatChaos(b); fa != fb {
+		t.Fatalf("same seeds rendered differently:\n%s\nvs\n%s", fa, fb)
+	}
+	// Parallelism must not reorder or alter results either.
+	old := Parallelism()
+	SetParallelism(1)
+	defer SetParallelism(old)
+	c, err := RunChaos(5, 3, 600*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatChaos(a) != FormatChaos(c) {
+		t.Fatal("chaos output depends on worker-pool width")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/adapt"
+	"github.com/wasp-stream/wasp/internal/chaos"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/faults"
 	"github.com/wasp-stream/wasp/internal/netsim"
@@ -126,6 +127,10 @@ type Result struct {
 	Obs *obs.Observer
 	// InitialTasks is the task count of the initial deployment.
 	InitialTasks int
+	// Final is the end-of-run invariant state — the conservation balance,
+	// suspended stages, pending adaptations, orphan transfers, and down
+	// sites the chaos checker judges.
+	Final *chaos.RunStats
 }
 
 // Run executes one scenario and collects its result.
@@ -267,7 +272,26 @@ func Run(s Scenario) (*Result, error) {
 	res.Lost, res.Restored = eng.Lost()
 	res.Actions = ctl.Actions()
 	res.Obs = ctl.Observer()
+	res.Final = finalState(eng, net, res.Obs)
 	return res, nil
+}
+
+// finalState captures the end-of-run invariant state for chaos checking.
+func finalState(eng *engine.Engine, net *netsim.Network, o *obs.Observer) *chaos.RunStats {
+	st := &chaos.RunStats{
+		Conservation:     eng.Conservation(),
+		SuspendedOps:     eng.SuspendedOps(),
+		PendingReconfigs: eng.PendingReconfigs(),
+		Replanning:       eng.Replanning(),
+		ActiveTransfers:  net.ActiveTransfers(),
+		DownSites:        eng.DownSites(),
+	}
+	for _, ev := range o.Events("recovery.complete") {
+		if d := ev.Get("recovery_time").Duration(); d > st.MaxRecovery {
+			st.MaxRecovery = d
+		}
+	}
+	return st
 }
 
 // MeanDelayBetween averages the run's delay samples within [from, to).

@@ -140,6 +140,51 @@ func (f Fault) sites() []topology.SiteID {
 	return nil
 }
 
+// target identifies what a fault acts on, for overlap detection: site
+// faults key by the victim site, link faults by the directed link. Site
+// and link faults never conflict with each other (a crash of a link's
+// endpoint composes fine with the link fault).
+func (f Fault) target() string {
+	switch f.Kind {
+	case SiteCrash, SiteSlow:
+		return fmt.Sprintf("site %d", int(f.Site))
+	case LinkDown, LinkSlow:
+		return fmt.Sprintf("link %d→%d", int(f.From), int(f.To))
+	}
+	return ""
+}
+
+// overlaps reports whether two active windows [At, At+For) intersect.
+// For == 0 means permanent: the window never closes.
+func overlaps(a, b Fault) bool {
+	aEnd, bEnd := a.At+a.For, b.At+b.For
+	if a.For == 0 {
+		aEnd = 1<<63 - 1
+	}
+	if b.For == 0 {
+		bEnd = 1<<63 - 1
+	}
+	return a.At < bEnd && b.At < aEnd
+}
+
+// ValidateSchedule rejects schedules with two faults active on the same
+// site or the same directed link at the same time: the heal of the first
+// would silently undo the second (SetSiteStraggler and SetLinkFault hold
+// one value per target), making the script's meaning order-dependent.
+// Positions are 1-based script positions, matching Parse's error style.
+func ValidateSchedule(fs []Fault) error {
+	for i := 1; i < len(fs); i++ {
+		for j := 0; j < i; j++ {
+			if fs[i].target() != fs[j].target() || !overlaps(fs[i], fs[j]) {
+				continue
+			}
+			return fmt.Errorf("fault %d %q overlaps fault %d %q on %s",
+				i+1, fs[i].String(), j+1, fs[j].String(), fs[i].target())
+		}
+	}
+	return nil
+}
+
 // Recoverer reacts to detected failures — the adapt controller implements
 // it to run checkpoint-driven recovery.
 type Recoverer interface {
@@ -236,7 +281,9 @@ func (in *Injector) heal(f Fault, now vclock.Time) {
 }
 
 // Parse reads a semicolon-separated fault script in the DSL documented at
-// the top of the package.
+// the top of the package. Beyond per-fault validation, the script as a
+// whole must be coherent: faults whose active windows overlap on the same
+// site or directed link are rejected with both positions named.
 func Parse(s string) ([]Fault, error) {
 	var out []Fault
 	for i, tok := range strings.Split(s, ";") {
@@ -249,6 +296,9 @@ func Parse(s string) ([]Fault, error) {
 			return nil, fmt.Errorf("fault %d %q: %w", i+1, tok, err)
 		}
 		out = append(out, f)
+	}
+	if err := ValidateSchedule(out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateScheduleRejectsOverlaps(t *testing.T) {
+	cases := []struct {
+		name string
+		fs   []Fault
+	}{
+		{"same-site-crash-windows", []Fault{
+			{Kind: SiteCrash, At: 10 * time.Second, For: 60 * time.Second, Site: 1},
+			{Kind: SiteCrash, At: 30 * time.Second, For: 10 * time.Second, Site: 1},
+		}},
+		{"crash-vs-slow-same-site", []Fault{
+			{Kind: SiteCrash, At: 10 * time.Second, For: 60 * time.Second, Site: 2},
+			{Kind: SiteSlow, At: 40 * time.Second, For: 60 * time.Second, Site: 2, Factor: 0.5},
+		}},
+		{"same-link", []Fault{
+			{Kind: LinkDown, At: 10 * time.Second, For: 30 * time.Second, From: 0, To: 1},
+			{Kind: LinkSlow, At: 20 * time.Second, For: 30 * time.Second, From: 0, To: 1, Factor: 0.5},
+		}},
+		{"permanent-never-closes", []Fault{
+			{Kind: LinkDown, At: 10 * time.Second, From: 0, To: 1}, // For=0: permanent
+			{Kind: LinkDown, At: time.Hour, For: time.Second, From: 0, To: 1},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateSchedule(tc.fs); err == nil {
+				t.Fatalf("overlapping schedule %v accepted", tc.fs)
+			}
+		})
+	}
+}
+
+func TestValidateScheduleErrorAnnotatesPositions(t *testing.T) {
+	fs := []Fault{
+		{Kind: SiteSlow, At: 10 * time.Second, For: 30 * time.Second, Site: 0, Factor: 0.5},
+		{Kind: SiteCrash, At: 20 * time.Second, For: 30 * time.Second, Site: 1},
+		{Kind: SiteCrash, At: 40 * time.Second, For: 5 * time.Second, Site: 1},
+	}
+	err := ValidateSchedule(fs)
+	if err == nil {
+		t.Fatal("overlap not rejected")
+	}
+	// 1-based positions: the third fault collides with the second.
+	for _, want := range []string{"fault 3", "fault 2", "site 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestValidateScheduleAcceptsNonOverlapping(t *testing.T) {
+	ok := [][]Fault{
+		// Same site, back-to-back windows: [10,40) then [40,70).
+		{
+			{Kind: SiteCrash, At: 10 * time.Second, For: 30 * time.Second, Site: 1},
+			{Kind: SiteSlow, At: 40 * time.Second, For: 30 * time.Second, Site: 1, Factor: 0.5},
+		},
+		// Concurrent faults on different sites.
+		{
+			{Kind: SiteCrash, At: 10 * time.Second, For: 30 * time.Second, Site: 1},
+			{Kind: SiteCrash, At: 10 * time.Second, For: 30 * time.Second, Site: 2},
+		},
+		// Opposite directions of one physical link are distinct targets.
+		{
+			{Kind: LinkDown, At: 10 * time.Second, For: 30 * time.Second, From: 0, To: 1},
+			{Kind: LinkDown, At: 10 * time.Second, For: 30 * time.Second, From: 1, To: 0},
+		},
+		// A site fault never conflicts with a link fault, even at the
+		// site's own endpoint.
+		{
+			{Kind: SiteCrash, At: 10 * time.Second, For: 30 * time.Second, Site: 1},
+			{Kind: LinkSlow, At: 10 * time.Second, For: 30 * time.Second, From: 1, To: 2, Factor: 0.5},
+		},
+		nil,
+	}
+	for _, fs := range ok {
+		if err := ValidateSchedule(fs); err != nil {
+			t.Errorf("valid schedule %v rejected: %v", fs, err)
+		}
+	}
+}
+
+func TestParseRejectsOverlappingScript(t *testing.T) {
+	_, err := Parse("crash@10s:site=1,for=60s; slow@30s:site=1,factor=0.5,for=10s")
+	if err == nil {
+		t.Fatal("Parse accepted a script with overlapping faults")
+	}
+	if !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("error %q does not explain the overlap", err)
+	}
+	if _, err := Parse("crash@10s:site=1,for=20s; slow@30s:site=1,factor=0.5,for=10s"); err != nil {
+		t.Fatalf("Parse rejected a back-to-back script: %v", err)
+	}
+}

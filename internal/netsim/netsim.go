@@ -57,12 +57,16 @@ type Transfer struct {
 	total     float64 // bytes
 	remaining float64 // bytes
 	done      bool
+	canceled  bool
 	doneAt    vclock.Time
 	allocated float64 // bytes/s granted at last Step
 }
 
 // Done reports whether the transfer has completed.
 func (t *Transfer) Done() bool { return t.done }
+
+// Canceled reports whether the transfer was canceled before completing.
+func (t *Transfer) Canceled() bool { return t.canceled }
 
 // DoneAt returns the virtual time the transfer completed (zero if not yet).
 func (t *Transfer) DoneAt() vclock.Time { return t.doneAt }
@@ -258,6 +262,30 @@ func (n *Network) StartTransfer(from, to topology.SiteID, bytes float64) *Transf
 	n.transfers[t.id] = t
 	return t
 }
+
+// CancelTransfer detaches an in-flight transfer from the network: it stops
+// consuming bandwidth immediately and will never complete (Done stays
+// false, Canceled becomes true). Canceling a completed or already-canceled
+// transfer is a no-op. Used when a site crash or an aborted reconfiguration
+// dooms the migration the transfer carries.
+func (n *Network) CancelTransfer(t *Transfer) {
+	if t == nil || t.done || t.canceled {
+		return
+	}
+	t.canceled = true
+	t.allocated = 0
+	delete(n.transfers, t.id)
+	if n.obs != nil {
+		n.obs.Emit("transfer.canceled",
+			obs.Int("from", int(t.From)), obs.Int("to", int(t.To)),
+			obs.F64("remaining_bytes", t.remaining))
+	}
+}
+
+// ActiveTransfers reports the number of in-flight bulk transfers still
+// attached to the network (the orphan-transfer invariant checks it is zero
+// at end of run).
+func (n *Network) ActiveTransfers() int { return len(n.transfers) }
 
 // EstimateTransferTime predicts how long a transfer of `bytes` over
 // from→to would take at the link's current capacity, ignoring contention —
