@@ -9,8 +9,11 @@
 //	waspbench -experiment all -j 4 -bench-json BENCH.json
 //
 // Experiments: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 tab2
-// tab3, the extensions (straggler, ablation-alpha, ablation-monitor,
-// ablation-constraints, chaos), or "all". Figures 8/9 and 11/12 share
+// tab3, the extensions (adaptlat, straggler, ablation-alpha,
+// ablation-monitor, ablation-constraints, chaos), or "all". adaptlat
+// sweeps the adaptation cycle's per-phase latency
+// (detect/plan/halt/transfer/resume) across the three queries under the
+// full WASP policy with a mid-run site crash. Figures 8/9 and 11/12 share
 // underlying runs; requesting either member executes the runs once and
 // prints the requested panels. "chaos" sweeps randomized fault schedules
 // over 8 seeds starting at -seed and checks the run-end invariants; its
@@ -271,6 +274,19 @@ func run(name string, seed int64, duration time.Duration, rec *recorder) error {
 				return err
 			}
 			fmt.Println(experiment.FormatFig14(runs))
+			return nil
+		}); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("adaptlat") {
+		if err := rec.measure("adaptlat", func() error {
+			runs, err := experiment.RunAdaptLat(seed, duration)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatAdaptLat(runs))
 			return nil
 		}); err != nil {
 			return err

@@ -13,6 +13,8 @@
 //	      -fault "crash@5m:site=3,for=2m; linkslow@8m:from=0,to=9,factor=0.5,for=1m"
 //	waspd -query topk -policy wasp -obs-out run.jsonl
 //	waspd -query topk -policy wasp -obs-out metrics.prom -obs-format prom
+//	waspd -query topk -policy wasp -chaos-seed 3 -flight -obs-out run.jsonl
+//	waspd -query topk -policy wasp -flight-dump flight.dump
 //	waspd -query topk -policy wasp -v
 //
 // The -obs-out file captures the run's full observability record: the
@@ -22,6 +24,12 @@
 // started). -obs-format selects JSONL events (jsonl), a Prometheus text
 // exposition dump (prom), or the human-readable decision audit (audit);
 // "-" writes to stdout. -v prints the decision audit after the run.
+//
+// -flight records one row of per-stage/per-link engine state per
+// simulation tick into a fixed-capacity ring; -flight-dump writes it to a
+// file after the run (implying -flight), and a chaos-invariant failure
+// with -flight on auto-dumps to wasp-flight.dump. Feed the dump and the
+// JSONL record to wasptrace for post-mortem analysis.
 //
 // -fault injects partial failures from a semicolon-separated script (see
 // the faults package for the DSL): site crash+restart, link
@@ -55,23 +63,29 @@ import (
 
 // options carries every flag of one waspd invocation.
 type options struct {
-	query     string
-	policy    string
-	duration  time.Duration
-	seed      int64
-	rate      float64
-	workload  string
-	bandwidth string
-	live      bool
-	failAt    time.Duration
-	failFor   time.Duration
-	faults    string
-	chaosSeed int64
-	ckptEvery time.Duration
-	obsOut    string
-	obsFormat string
-	verbose   bool
+	query      string
+	policy     string
+	duration   time.Duration
+	seed       int64
+	rate       float64
+	workload   string
+	bandwidth  string
+	live       bool
+	failAt     time.Duration
+	failFor    time.Duration
+	faults     string
+	chaosSeed  int64
+	ckptEvery  time.Duration
+	obsOut     string
+	obsFormat  string
+	flight     bool
+	flightDump string
+	verbose    bool
 }
+
+// autoFlightDump is where a chaos-invariant failure dumps the flight
+// recorder when -flight is on but no -flight-dump path was given.
+const autoFlightDump = "wasp-flight.dump"
 
 func main() {
 	var opt options
@@ -90,6 +104,8 @@ func main() {
 	flag.DurationVar(&opt.ckptEvery, "checkpoint-every", 0, "checkpoint interval for crash recovery (0 = no checkpointing)")
 	flag.StringVar(&opt.obsOut, "obs-out", "", "write the observability record to this file (\"-\" = stdout)")
 	flag.StringVar(&opt.obsFormat, "obs-format", "jsonl", "observability output format: jsonl | prom | audit")
+	flag.BoolVar(&opt.flight, "flight", false, "record per-tick engine state into a flight-recorder ring (auto-dumped on chaos invariant failure)")
+	flag.StringVar(&opt.flightDump, "flight-dump", "", "write the flight recording to this file after the run (implies -flight)")
 	flag.BoolVar(&opt.verbose, "v", false, "print the decision audit after the run")
 	flag.Parse()
 	if err := run(opt); err != nil {
@@ -212,6 +228,12 @@ func run(opt options) error {
 		sc.Workload = trace.Steps(phase, wFactors...)
 		sc.Bandwidth = trace.Steps(phase, bFactors...)
 	}
+	if opt.flightDump != "" {
+		opt.flight = true
+	}
+	if opt.flight {
+		sc.Flight = obs.NewFlightRecorder(obs.DefaultFlightCapacity)
+	}
 	if opt.failAt > 0 {
 		sc.FailAt, sc.FailFor = opt.failAt, opt.failFor
 	}
@@ -266,8 +288,13 @@ func run(opt options) error {
 		experiment.Fmt(res.DelayPercentile(0.95)),
 		experiment.Fmt(res.DelayPercentile(0.99)))
 
+	// The chaos verdict is computed before the exports but returned last,
+	// so a violated run still writes its observability record and — the
+	// post-mortem contract — its flight dump.
+	var chaosErr error
 	if opt.chaosSeed != 0 {
 		violations := chaos.Check(*res.Final, experiment.ChaosRecoveryBound)
+		chaos.Report(res.Obs, violations)
 		fmt.Println("\nChaos invariants:")
 		if len(violations) == 0 {
 			fmt.Println("  all invariants hold")
@@ -275,7 +302,11 @@ func run(opt options) error {
 			for _, v := range violations {
 				fmt.Printf("  FAIL %s\n", v)
 			}
-			return fmt.Errorf("chaos: %d invariant violation(s)", len(violations))
+			chaosErr = fmt.Errorf("chaos: %d invariant violation(s)", len(violations))
+			if sc.Flight != nil && opt.flightDump == "" {
+				opt.flightDump = autoFlightDump
+				fmt.Printf("chaos: dumping flight recording to %s\n", opt.flightDump)
+			}
 		}
 	}
 
@@ -290,7 +321,30 @@ func run(opt options) error {
 			return err
 		}
 	}
-	return nil
+	if opt.flightDump != "" {
+		if err := writeFlight(sc.Flight, opt.flightDump); err != nil {
+			return err
+		}
+	}
+	return chaosErr
+}
+
+// writeFlight dumps the flight recording to a file ("-" = stdout).
+func writeFlight(f *obs.FlightRecorder, path string) error {
+	out := os.Stdout
+	if path != "-" {
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		out = file
+	}
+	w := bufio.NewWriter(out)
+	if err := f.Dump(w); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // writeObs exports the run's observability record in the chosen format.

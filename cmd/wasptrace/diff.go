@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// maxDiffDetail caps how many differing lines get a field-level breakdown
+// before the report switches to a bare count.
+const maxDiffDetail = 20
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: want exactly two input files, got %d", fs.NArg())
+	}
+	pathA, pathB := fs.Arg(0), fs.Arg(1)
+	linesA, err := readLines(pathA)
+	if err != nil {
+		return err
+	}
+	linesB, err := readLines(pathB)
+	if err != nil {
+		return err
+	}
+
+	n := len(linesA)
+	if len(linesB) > n {
+		n = len(linesB)
+	}
+	var differing int
+	for i := 0; i < n; i++ {
+		var a, b string
+		if i < len(linesA) {
+			a = linesA[i]
+		}
+		if i < len(linesB) {
+			b = linesB[i]
+		}
+		if a == b {
+			continue
+		}
+		differing++
+		if differing > maxDiffDetail {
+			continue
+		}
+		switch {
+		case a == "":
+			fmt.Printf("line %d: only in %s:\n  %s\n", i+1, pathB, clip(b))
+		case b == "":
+			fmt.Printf("line %d: only in %s:\n  %s\n", i+1, pathA, clip(a))
+		default:
+			fmt.Printf("line %d: differs:\n", i+1)
+			for _, d := range fieldDiff(a, b) {
+				fmt.Printf("  %s\n", d)
+			}
+		}
+	}
+	if differing == 0 {
+		fmt.Printf("identical: %d line(s)\n", len(linesA))
+		return nil
+	}
+	if differing > maxDiffDetail {
+		fmt.Printf("... and %d more differing line(s)\n", differing-maxDiffDetail)
+	}
+	return diffError{n: differing}
+}
+
+// readLines loads a file as trimmed lines, dropping trailing blanks so a
+// missing final newline never counts as a difference.
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		out = append(out, strings.TrimRight(sc.Text(), "\r"))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for len(out) > 0 && out[len(out)-1] == "" {
+		out = out[:len(out)-1]
+	}
+	return out, nil
+}
+
+// fieldDiff compares two JSON lines field by field. Non-JSON lines fall
+// back to printing both sides whole.
+func fieldDiff(a, b string) []string {
+	var objA, objB map[string]interface{}
+	if json.Unmarshal([]byte(a), &objA) != nil || json.Unmarshal([]byte(b), &objB) != nil {
+		return []string{"a: " + clip(a), "b: " + clip(b)}
+	}
+	keys := make(map[string]bool)
+	for k := range objA { //waspvet:unordered keys are sorted below before use
+		keys[k] = true
+	}
+	for k := range objB { //waspvet:unordered keys are sorted below before use
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys { //waspvet:unordered keys are sorted on the next line
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var out []string
+	for _, k := range sorted {
+		va, okA := objA[k]
+		vb, okB := objB[k]
+		switch {
+		case !okA:
+			out = append(out, fmt.Sprintf("%s: only in b: %s", k, clip(fmtVal(vb))))
+		case !okB:
+			out = append(out, fmt.Sprintf("%s: only in a: %s", k, clip(fmtVal(va))))
+		case !reflect.DeepEqual(va, vb):
+			out = append(out, fmt.Sprintf("%s: %s != %s", k, clip(fmtVal(va)), clip(fmtVal(vb))))
+		}
+	}
+	if len(out) == 0 {
+		// Same fields, different serialization (key order, whitespace).
+		out = []string{"a: " + clip(a), "b: " + clip(b)}
+	}
+	return out
+}
+
+// clip bounds one value's printout so a huge span line stays readable.
+func clip(s string) string {
+	const max = 160
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}

@@ -1,0 +1,79 @@
+// Command wasptrace is the post-mortem analyzer for WASP runs: it ingests
+// the observability JSONL a run wrote (waspd -obs-out, or any
+// obs.WriteJSONL output) and flight-recorder dumps (waspd -flight-dump,
+// or the auto-dump a chaos-invariant failure produces) and renders what
+// happened without re-running anything.
+//
+// Usage:
+//
+//	wasptrace timeline run.jsonl          ASCII gantt of rounds, actions,
+//	                                      faults, aborts/retries, recoveries
+//	wasptrace timeline wasp-flight.dump   per-column flight summary + sparklines
+//	wasptrace latency run.jsonl           adaptation-latency breakdown by phase
+//	wasptrace slo run.jsonl               goodput + recovery budget burn
+//	wasptrace diff a.jsonl b.jsonl        field-level compare of two runs
+//
+// Flags after the subcommand:
+//
+//	timeline: -width N       gantt width in buckets (default 72)
+//	slo:      -slo-ratio R   goodput-ratio floor per sample (default 0.95)
+//	          -budget F      allowed violating-sample fraction (default 0.05)
+//	          -slo-recovery D recovery-time budget (default 2m)
+//
+// Output is deterministic: the same inputs yield byte-identical reports,
+// so two same-seed runs can be compared with cmp(1) — the CI smoke job
+// does exactly that. diff exits 1 when the runs differ, 2 on usage or
+// read errors.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "timeline":
+		err = cmdTimeline(args)
+	case "latency":
+		err = cmdLatency(args)
+	case "slo":
+		err = cmdSLO(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "wasptrace: unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if de, ok := err.(diffError); ok {
+			fmt.Fprintln(os.Stderr, "wasptrace:", de.Error())
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wasptrace:", err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: wasptrace <timeline|latency|slo|diff> [flags] <file> [file2]
+  timeline run.jsonl|flight.dump   render the run's gantt / flight summary
+  latency  run.jsonl               adaptation-latency breakdown by phase
+  slo      run.jsonl               goodput + recovery budget burn
+  diff     a.jsonl b.jsonl         field-level compare (exit 1 on diff)`)
+}
+
+// diffError marks "the runs differ" so main can exit 1 instead of 2.
+type diffError struct{ n int }
+
+func (e diffError) Error() string { return fmt.Sprintf("runs differ in %d line(s)", e.n) }

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// entry is one JSONL timeline line (an event or a span) or one span-nested
+// event. The obs package writes attrs in emission order; encoding/json
+// gives them back as a map, so every renderer sorts keys before printing.
+type entry struct {
+	T      float64                `json:"t"`
+	Type   string                 `json:"type"`
+	ID     uint64                 `json:"id"`
+	Parent uint64                 `json:"parent"`
+	Name   string                 `json:"name"`
+	End    *float64               `json:"end"`
+	Attrs  map[string]interface{} `json:"attrs"`
+	Events []entry                `json:"events"`
+}
+
+// str returns a string attribute ("" when absent or not a string).
+func (e entry) str(key string) string {
+	s, _ := e.Attrs[key].(string)
+	return s
+}
+
+// num returns a numeric attribute (0 when absent or non-numeric).
+func (e entry) num(key string) float64 {
+	f, _ := e.Attrs[key].(float64)
+	return f
+}
+
+// flightMagic is the schema marker on the first line of a flight dump
+// (obs.FlightSchema).
+const flightMagic = `"flight":"wasp-flight/v1"`
+
+// isFlightDump sniffs whether the file is a flight-recorder dump rather
+// than an obs JSONL timeline.
+func isFlightDump(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, err := r.ReadString('\n')
+	if err != nil && line == "" {
+		return false, nil
+	}
+	return strings.Contains(line, flightMagic), nil
+}
+
+// loadTimeline parses an obs JSONL file into its top-level entries.
+func loadTimeline(path string) ([]entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// flatten returns every event of the timeline — top-level events plus
+// span-nested ones — ordered by time (stable on the original order).
+func flatten(entries []entry) []entry {
+	var out []entry
+	for _, e := range entries {
+		switch e.Type {
+		case "event":
+			out = append(out, e)
+		case "span":
+			for _, ev := range e.Events {
+				out = append(out, ev)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// endOf returns the latest timestamp in the timeline (span ends included).
+func endOf(entries []entry) float64 {
+	var end float64
+	for _, e := range entries {
+		if e.T > end {
+			end = e.T
+		}
+		if e.End != nil && *e.End > end {
+			end = *e.End
+		}
+		for _, ev := range e.Events {
+			if ev.T > end {
+				end = ev.T
+			}
+		}
+	}
+	return end
+}
+
+// flightHeader is the first line of a flight dump.
+type flightHeader struct {
+	Flight   string   `json:"flight"`
+	Capacity int      `json:"capacity"`
+	Rows     int      `json:"rows"`
+	Columns  []string `json:"columns"`
+}
+
+// flightRow is one retained tick sample, oldest first in the dump.
+type flightRow struct {
+	T float64   `json:"t"`
+	V []float64 `json:"v"`
+}
+
+// loadFlight parses a flight-recorder dump: the header line, then one
+// row per retained tick.
+func loadFlight(path string) (flightHeader, []flightRow, error) {
+	var hdr flightHeader
+	f, err := os.Open(path)
+	if err != nil {
+		return hdr, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return hdr, nil, fmt.Errorf("%s: empty flight dump", path)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("%s:1: %w", path, err)
+	}
+	if hdr.Flight == "" {
+		return hdr, nil, fmt.Errorf("%s: not a flight dump (missing %s)", path, flightMagic)
+	}
+	var rows []flightRow
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r flightRow
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return hdr, nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		rows = append(rows, r)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, err
+	}
+	return hdr, rows, nil
+}
+
+// attrString renders an entry's attrs as a stable "k=v k=v" list.
+func attrString(e entry, keys ...string) string {
+	if len(keys) == 0 {
+		keys = make([]string, 0, len(e.Attrs))
+		for k := range e.Attrs { //waspvet:unordered keys are sorted on the next line
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+	}
+	var parts []string
+	for _, k := range keys {
+		v, ok := e.Attrs[k]
+		if !ok {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s", k, fmtVal(v)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// fmtVal prints one attribute value compactly and deterministically.
+func fmtVal(v interface{}) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return fmtFloat(x)
+	case bool:
+		return fmt.Sprintf("%v", x)
+	case nil:
+		return "null"
+	default:
+		b, err := json.Marshal(x)
+		if err != nil {
+			return fmt.Sprintf("%v", x)
+		}
+		return string(b)
+	}
+}
+
+// fmtFloat trims trailing zeros: 12.50 → 12.5, 3.00 → 3.
+func fmtFloat(f float64) string {
+	s := fmt.Sprintf("%.2f", f)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// table renders rows with aligned columns (same layout idiom as the
+// experiment package's tables).
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s ", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	dashes := make([]string, len(header))
+	for i, w := range widths {
+		dashes[i] = strings.Repeat("-", w)
+	}
+	writeRow(dashes)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// lane is one row of the ASCII gantt: a label, the event names it tracks,
+// and the mark it paints.
+type lane struct {
+	label string
+	names map[string]byte // event name → mark
+}
+
+// timelineLanes maps the run's events onto gantt rows, most interesting
+// last so faults and violations sit next to the time axis.
+var timelineLanes = []lane{
+	{"rounds", map[string]byte{"controller.round": '|'}},
+	{"actions", map[string]byte{"action": 'A'}},
+	{"adapt", map[string]byte{"adapt.abort": 'x', "adapt.retry": 'r', "adapt.rollback": 'R'}},
+	{"recovery", map[string]byte{"recovery.detected": 'd', "recovery.complete": 'C', "recovery.degraded": 'g'}},
+	{"faults", map[string]byte{
+		"fault.site_crash": 'F', "fault.site_restore": 'h', "fault.link_down": 'F',
+		"fault.link_restore": 'h', "fault.link_degrade": 'f', "fault.straggle": 'f',
+		"fault.inject": 'F', "fault.heal": 'h', "engine.fail": 'F',
+	}},
+	{"violations", map[string]byte{"chaos.violation": '!'}},
+}
+
+// detailNames are the events worth a line each in the chronology under
+// the gantt.
+var detailNames = map[string]bool{
+	"action": true, "adapt.abort": true, "adapt.retry": true, "adapt.rollback": true,
+	"recovery.detected": true, "recovery.complete": true, "recovery.degraded": true,
+	"fault.site_crash": true, "fault.site_restore": true, "fault.link_down": true,
+	"fault.link_restore": true, "fault.link_degrade": true, "fault.straggle": true,
+	"fault.inject": true, "fault.heal": true, "engine.fail": true,
+	"chaos.violation": true, "engine.reconfigure_aborted": true, "engine.replan_aborted": true,
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("timeline", flag.ContinueOnError)
+	width := fs.Int("width", 72, "gantt width in buckets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("timeline: want exactly one input file, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+	flight, err := isFlightDump(path)
+	if err != nil {
+		return err
+	}
+	if flight {
+		return flightSummary(path, *width)
+	}
+	entries, err := loadTimeline(path)
+	if err != nil {
+		return err
+	}
+	return renderGantt(entries, *width)
+}
+
+// renderGantt paints the run's spans and events into per-lane buckets.
+func renderGantt(entries []entry, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	end := endOf(entries)
+	if end <= 0 {
+		fmt.Println("timeline: empty run (no timestamped entries)")
+		return nil
+	}
+	// Spans count as events at their start for lane marking, so the
+	// rounds lane (controller.round spans) fills in.
+	events := flatten(entries)
+	for _, e := range entries {
+		if e.Type == "span" {
+			events = append(events, e)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	bucket := func(t float64) int {
+		i := int(t / end * float64(width))
+		if i >= width {
+			i = width - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i
+	}
+
+	fmt.Printf("timeline: %s .. %s (%d buckets of %s)\n\n",
+		fmtSeconds(0), fmtSeconds(end), width, fmtSeconds(end/float64(width)))
+
+	labelW := 0
+	for _, l := range timelineLanes {
+		if len(l.label) > labelW {
+			labelW = len(l.label)
+		}
+	}
+	for _, l := range timelineLanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		n := 0
+		for _, ev := range events {
+			mark, ok := l.names[ev.Name]
+			if !ok {
+				continue
+			}
+			n++
+			b := bucket(ev.T)
+			// Later (more severe, by lane map construction) marks win; a
+			// bucket already holding a mark keeps the first one except
+			// that lowercase yields to uppercase.
+			if row[b] == '.' || (row[b] >= 'a' && row[b] <= 'z' && mark >= 'A' && mark <= 'Z') {
+				row[b] = mark
+			}
+		}
+		fmt.Printf("%-*s  %s  (%d)\n", labelW, l.label, row, n)
+	}
+	fmt.Printf("%-*s  %s^\n", labelW, "", strings.Repeat(" ", width-1))
+	fmt.Printf("%-*s  0%s%s\n\n", labelW, "", strings.Repeat(" ", width-len(fmtSeconds(end))), fmtSeconds(end))
+	fmt.Println("marks: | round  A action  x abort  r retry  R rollback  d crash-detected")
+	fmt.Println("       C recovery-complete  g degraded  F fault  f slow  h heal  ! violation")
+
+	// Chronology of the notable events.
+	var rows [][]string
+	for _, ev := range events {
+		if !detailNames[ev.Name] {
+			continue
+		}
+		rows = append(rows, []string{fmtSeconds(ev.T), ev.Name, attrString(ev)})
+	}
+	if len(rows) > 0 {
+		fmt.Println()
+		fmt.Print(table([]string{"t", "event", "detail"}, rows))
+	} else {
+		fmt.Println()
+		fmt.Println("no actions, faults, or violations recorded")
+	}
+	return nil
+}
+
+// fmtSeconds renders a virtual timestamp compactly.
+func fmtSeconds(s float64) string {
+	return fmtFloat(s) + "s"
+}
+
+// flightSummary renders a flight dump: per-column min/mean/max/last plus
+// an ASCII sparkline over the retained window.
+func flightSummary(path string, width int) error {
+	hdr, rows, err := loadFlight(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flight: %s — capacity %d, %d rows recorded, %d retained\n",
+		path, hdr.Capacity, hdr.Rows, len(rows))
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Printf("window: %s .. %s\n\n", fmtSeconds(rows[0].T), fmtSeconds(rows[len(rows)-1].T))
+
+	var out [][]string
+	for ci, col := range hdr.Columns {
+		vals := make([]float64, len(rows))
+		for ri, r := range rows {
+			if ci < len(r.V) {
+				vals[ri] = r.V[ci]
+			}
+		}
+		mn, mx, sum := vals[0], vals[0], 0.0
+		for _, v := range vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+		}
+		out = append(out, []string{
+			col, fmtFloat(mn), fmtFloat(sum / float64(len(vals))), fmtFloat(mx),
+			fmtFloat(vals[len(vals)-1]), sparkline(vals, mn, mx, width/2),
+		})
+	}
+	fmt.Print(table([]string{"column", "min", "mean", "max", "last", "trend"}, out))
+	return nil
+}
+
+// sparkLevels are the intensity glyphs of a sparkline, low to high.
+const sparkLevels = " .:-=+*#"
+
+// sparkline compresses a series into w glyphs, scaled to [mn, mx].
+func sparkline(vals []float64, mn, mx float64, w int) string {
+	if w < 8 {
+		w = 8
+	}
+	if len(vals) < w {
+		w = len(vals)
+	}
+	out := make([]byte, w)
+	span := mx - mn
+	per := float64(len(vals)) / float64(w)
+	for i := 0; i < w; i++ {
+		lo, hi := int(float64(i)*per), int(float64(i+1)*per)
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		if lo >= hi {
+			lo = hi - 1
+		}
+		var bucketMax float64
+		for _, v := range vals[lo:hi] {
+			if v > bucketMax {
+				bucketMax = v
+			}
+		}
+		if span <= 0 {
+			out[i] = sparkLevels[0]
+			continue
+		}
+		level := int((bucketMax - mn) / span * float64(len(sparkLevels)-1))
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkLevels) {
+			level = len(sparkLevels) - 1
+		}
+		out[i] = sparkLevels[level]
+	}
+	return "[" + string(out) + "]"
+}

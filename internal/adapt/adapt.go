@@ -289,6 +289,13 @@ type Controller struct {
 	placedAt   map[plan.OpID]int
 	retries    map[plan.OpID]*retryState
 
+	// Adaptation-latency phase windows (latency.go): when each operator's
+	// current unhealthy streak began (detect phase start), and when a
+	// completed action started waiting for its first healthy diagnosis
+	// (resume phase start).
+	detectAt    map[plan.OpID]vclock.Time
+	awaitResume map[plan.OpID]vclock.Time
+
 	obs      *obs.Observer
 	decision *obs.Span
 }
@@ -380,6 +387,7 @@ func (c *Controller) record(kind ActionKind, op plan.OpID, detail string) {
 	c.quietRounds = 0
 	c.obs.Emit("action", obs.String("kind", kind.String()), obs.I64("op", int64(op)), obs.String("detail", detail))
 	c.obs.Registry().Counter("wasp_controller_actions_total", "kind", kind.String()).Inc()
+	c.notePhasesForAction(kind, op, now)
 }
 
 // Round runs one monitoring + adaptation round (normally driven by the
@@ -455,8 +463,10 @@ func (c *Controller) adaptBottleneck(now vclock.Time, snap *metrics.Snapshot, ex
 		cond := c.diagnose(id, snap, expectedIn)
 		c.emitDiagnosis(id, cond, snap.Ops[id], expectedIn[id])
 		if cond == metrics.Healthy {
+			c.noteHealthy(id, now)
 			continue
 		}
+		c.noteDetect(id, now)
 		if branch, reason, held := c.heldDown(id, now); held {
 			c.reject(branch, reason, obs.Int("op", int(id)))
 			continue

@@ -375,6 +375,9 @@ func (c *Controller) recoverStage(id plan.OpID, lost int, down []topology.SiteID
 			crashAt = at
 		}
 	}
+	// For recovery the detect phase starts at the crash, not at the first
+	// unhealthy diagnosis — failure detection is part of recovery latency.
+	c.noteDetect(id, crashAt)
 	onDone := func(doneAt vclock.Time) {
 		restored := 0.0
 		for _, b := range blobs {

@@ -157,6 +157,12 @@ func (c *Controller) noteCompleted(id plan.OpID, oldSites []topology.SiteID, don
 	c.prevSites[id] = oldSites
 	c.placedAt[id] = c.roundCount
 	delete(c.retries, id)
+	// Open the resume-phase window: it closes at the first monitoring round
+	// that diagnoses the operator healthy again (latency.go).
+	if c.awaitResume == nil {
+		c.awaitResume = make(map[plan.OpID]vclock.Time)
+	}
+	c.awaitResume[id] = doneAt
 }
 
 // reversalGuarded reports whether moving the operator to newSites would

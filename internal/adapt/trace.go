@@ -34,6 +34,7 @@ func (c *Controller) describeMetrics() {
 	r.Describe("wasp_controller_round_seconds", "Wall-clock latency of one controller round (requires SetWallClock).")
 	r.Describe("wasp_adapt_aborts_total", "In-flight adaptations aborted (doomed or stalled), by kind.")
 	r.Describe("wasp_adapt_rollbacks_total", "Operators rolled back after exhausting the retry budget.")
+	r.Describe("wasp_adapt_latency_seconds", "Virtual-clock duration of one adaptation phase (detect/plan/halt/transfer/resume), by phase.")
 }
 
 // beginDecision opens the decision span for one bottleneck operator. All

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/engine"
+	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
 )
@@ -82,4 +83,19 @@ func Check(s RunStats, recoveryBound time.Duration) []Violation {
 			fmt.Sprintf("slowest recovery %v exceeds bound %v", s.MaxRecovery, recoveryBound)})
 	}
 	return out
+}
+
+// Report emits each violation as a chaos.violation event on the run's
+// observer, so the broken invariants appear in the JSONL timeline beside
+// the actions and faults that caused them (wasptrace renders them in its
+// gantt). Nil observer or empty violation list is a no-op.
+func Report(o *obs.Observer, vs []Violation) {
+	if o == nil {
+		return
+	}
+	for _, v := range vs {
+		o.Emit("chaos.violation",
+			obs.String("invariant", v.Invariant),
+			obs.String("detail", v.Detail))
+	}
 }

@@ -218,6 +218,16 @@ type Engine struct {
 	obs *obs.Observer
 	tel engineTel
 
+	// flight is the optional per-tick flight recorder (nil = zero
+	// overhead); fcols caches its column handles, rebuilt when the
+	// topo/flow cache generations move (see flight.go).
+	flight *obs.FlightRecorder
+	fcols  flightCols
+
+	// ticks counts this engine's simulation ticks (atomic so bench
+	// harnesses may read it from another goroutine mid-run).
+	ticks atomic.Int64
+
 	// Tick hot-path caches and scratch buffers (see hotpath.go for the
 	// invalidation rules). topoErr remembers a StageIDs failure so cached
 	// paths mirror the uncached error behaviour exactly.
@@ -230,9 +240,14 @@ type Engine struct {
 	flowsDirty  bool
 	flowList    []*edgeFlow
 	outFlows    map[groupKey][]*edgeFlow
-	flowKeyBuf  []flowKey
-	popBuf      []cohort
-	winKeyBuf   []vclock.Time
+	// topoGen/flowsGen count cache rebuilds so derived caches (the flight
+	// recorder's column handles) can detect structural change without a
+	// dirty flag of their own.
+	topoGen    uint64
+	flowsGen   uint64
+	flowKeyBuf []flowKey
+	popBuf     []cohort
+	winKeyBuf  []vclock.Time
 }
 
 // engineTel caches the engine's registry instruments so hot-path updates
@@ -289,6 +304,7 @@ func (e *Engine) SetObserver(o *obs.Observer) {
 	r.Describe("wasp_replans_total", "Plan switches completed.")
 	r.Describe("wasp_failures_total", "Full-outage failures injected.")
 	r.Describe("wasp_site_crashes_total", "Site crashes injected.")
+	r.Describe("wasp_adapt_latency_seconds", "Virtual-clock duration of one adaptation phase (detect/plan/halt/transfer/resume), by phase.")
 	e.tel = engineTel{
 		sinkDelay:  r.Histogram("wasp_sink_delay_seconds", []float64{0.5, 1, 2, 5, 10, 20, 40, 80, 160, 320}),
 		migBytes:   r.Counter("wasp_migration_bytes_total"),
@@ -435,12 +451,17 @@ func (e *Engine) opGroups(id plan.OpID) []*group {
 // tickCount counts every simulation tick executed process-wide, across
 // all engines (experiment grids run many engines, possibly concurrently).
 // The waspbench -bench-json harness divides wall time and memory deltas by
-// the delta of this counter to report per-tick costs.
+// the delta of this counter to report per-tick costs of a whole grid.
 var tickCount atomic.Int64
 
 // TickCount returns the number of simulation ticks executed by all engines
 // in this process since start.
 func TickCount() int64 { return tickCount.Load() }
+
+// Ticks returns the number of simulation ticks this engine has executed.
+// Unlike the process-wide TickCount, it never conflates engines running
+// concurrently under the experiment pool.
+func (e *Engine) Ticks() int64 { return e.ticks.Load() }
 
 // tick advances the simulation by one step ending at `now`.
 func (e *Engine) tick(now vclock.Time) {
@@ -449,6 +470,7 @@ func (e *Engine) tick(now vclock.Time) {
 		return
 	}
 	tickCount.Add(1)
+	e.ticks.Add(1)
 	e.lastNow = now
 	dtSec := time.Duration(dt).Seconds()
 	failed := now <= e.failedUntil
@@ -497,6 +519,11 @@ func (e *Engine) tick(now vclock.Time) {
 
 	// 7. Refresh backpressure flags for the next tick's demands.
 	e.updateBackpressure()
+
+	// 8. Record the tick into the flight recorder (nil = no-op).
+	if e.flight != nil {
+		e.recordFlight(now, dtSec)
+	}
 }
 
 // sortedFlows returns the engine's flows in deterministic key order, so

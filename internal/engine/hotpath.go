@@ -60,6 +60,7 @@ func (e *Engine) ensureTopo() {
 		return
 	}
 	e.topoDirty = false
+	e.topoGen++
 	order, err := e.plan.StageIDs()
 	e.topoErr = err
 	if err != nil {
@@ -119,6 +120,7 @@ func (e *Engine) ensureFlows() {
 		return
 	}
 	e.flowsDirty = false
+	e.flowsGen++
 	e.flowKeyBuf = detutil.SortedKeysFuncInto(e.flows, e.flowKeyBuf[:0], flowKeyLess)
 	list := make([]*edgeFlow, len(e.flowKeyBuf))
 	out := make(map[groupKey][]*edgeFlow, len(e.groups))

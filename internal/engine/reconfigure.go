@@ -37,6 +37,11 @@ type reconfiguration struct {
 	// all transfers at the last tick that moved data, and when that was.
 	lastRemaining  float64
 	lastProgressAt vclock.Time
+	// firstProgressAt is when the first transfer byte moved — the boundary
+	// between the halt phase (suspend + instantiate, waiting on the network
+	// to admit the flows) and the transfer phase (state actually moving).
+	// Zero until progress is observed.
+	firstProgressAt vclock.Time
 }
 
 // Reconfigure suspends the stage running `op`, migrates state per
@@ -139,6 +144,9 @@ func (e *Engine) progressReconfigs(now vclock.Time) {
 			if left < rc.lastRemaining-1e-6 {
 				rc.lastRemaining = left
 				rc.lastProgressAt = now
+				if rc.firstProgressAt == 0 {
+					rc.firstProgressAt = now
+				}
 			}
 			remaining = append(remaining, rc)
 			continue
@@ -310,6 +318,14 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 		e.tel.migSeconds.Observe((now - rc.startedAt).Seconds())
 		rc.span.Finish()
 	}
+	// Phase latencies: halt covers suspend→first transfer byte (the whole
+	// reconfiguration when no state moved), transfer covers the data motion.
+	haltEnd := rc.firstProgressAt
+	if haltEnd == 0 {
+		haltEnd = now
+	}
+	e.emitAdaptPhase("halt", "reconfigure", rc.op, haltEnd-rc.startedAt)
+	e.emitAdaptPhase("transfer", "reconfigure", rc.op, now-haltEnd)
 	if rc.finished != nil {
 		rc.finished(now)
 	}
@@ -488,6 +504,10 @@ func (e *Engine) progressReplan(now vclock.Time) {
 		e.tel.replans.Inc()
 		rp.span.Finish()
 	}
+	// The whole drain-then-switch is one halt phase: sources stay suspended
+	// until the old pipeline empties, and the swap itself is instantaneous
+	// on the virtual clock — no transfer phase. op -1 = whole-plan action.
+	e.emitAdaptPhase("halt", "replan", -1, now-rp.started)
 	if rp.finished != nil {
 		rp.finished(now)
 	}

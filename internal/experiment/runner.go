@@ -78,6 +78,11 @@ type Scenario struct {
 	// action of the run lands in it. Nil still records the controller's
 	// action log in a run-private observer (see Result.Obs).
 	Obs *obs.Observer
+
+	// Flight, when non-nil, is attached to the engine: every simulation
+	// tick appends one row of per-stage/per-link state to the ring for
+	// post-mortem dumps (wasptrace).
+	Flight *obs.FlightRecorder
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -185,6 +190,9 @@ func Run(s Scenario) (*Result, error) {
 	if sc.Obs != nil {
 		eng.SetObserver(sc.Obs)
 	}
+	if sc.Flight != nil {
+		eng.SetFlightRecorder(sc.Flight)
+	}
 	if err := eng.Deploy(best.Plan); err != nil {
 		return nil, fmt.Errorf("deploy %s: %w", q.Name, err)
 	}
@@ -245,6 +253,13 @@ func Run(s Scenario) (*Result, error) {
 			ratio = dp / dg
 		}
 		res.Ratio = append(res.Ratio, TimePoint{T: now, V: ratio})
+		if sc.Obs != nil {
+			// Periodic goodput samples feed wasptrace's SLO budget math.
+			sc.Obs.Emit("goodput.sample",
+				obs.F64("ratio", ratio),
+				obs.F64("generated", gen),
+				obs.F64("processed", processed))
+		}
 		res.Parallelism = append(res.Parallelism, TimePoint{
 			T: now, V: float64(eng.Plan().TotalTasks() - res.InitialTasks),
 		})

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/vclock"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.BeginTick(0)
+	f.Column("x").Set(1)
+	f.Column("x").Add(1)
+	if f.Len() != 0 || f.Rows() != 0 {
+		t.Fatal("nil recorder must report zero rows")
+	}
+	if err := f.Dump(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlightRecorderRecordsAndDumps(t *testing.T) {
+	f := NewFlightRecorder(8)
+	a := f.Column("a")
+	b := f.Column("b")
+	for i := 0; i < 3; i++ {
+		f.BeginTick(vclock.Time(i) * vclock.Time(time.Second))
+		a.Set(float64(i))
+		b.Add(1)
+		b.Add(0.5)
+	}
+	if f.Len() != 3 || f.Rows() != 3 {
+		t.Fatalf("Len=%d Rows=%d, want 3/3", f.Len(), f.Rows())
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dump has %d lines, want header + 3 rows:\n%s", len(lines), buf.String())
+	}
+	wantHeader := `{"flight":"wasp-flight/v1","capacity":8,"rows":3,"columns":["a","b"]}`
+	if lines[0] != wantHeader {
+		t.Fatalf("header = %s\nwant     %s", lines[0], wantHeader)
+	}
+	if lines[2] != `{"t":1,"v":[1,1.5]}` {
+		t.Fatalf("row 1 = %s", lines[2])
+	}
+}
+
+func TestFlightRecorderWrapKeepsNewestRows(t *testing.T) {
+	f := NewFlightRecorder(4)
+	c := f.Column("v")
+	for i := 0; i < 10; i++ {
+		f.BeginTick(vclock.Time(i) * vclock.Time(time.Second))
+		c.Set(float64(i))
+	}
+	if f.Len() != 4 || f.Rows() != 10 {
+		t.Fatalf("Len=%d Rows=%d, want 4/10", f.Len(), f.Rows())
+	}
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Oldest retained row first: ticks 6, 7, 8, 9.
+	want := []string{
+		`{"t":6,"v":[6]}`,
+		`{"t":7,"v":[7]}`,
+		`{"t":8,"v":[8]}`,
+		`{"t":9,"v":[9]}`,
+	}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Fatalf("row %d = %s, want %s", i, lines[i+1], w)
+		}
+	}
+}
+
+// TestFlightRecorderZeroFillsNewRow guards the semantics Set/Add rely on:
+// every BeginTick starts all columns at zero, even after a wrap over old
+// values.
+func TestFlightRecorderZeroFillsNewRow(t *testing.T) {
+	f := NewFlightRecorder(2)
+	c := f.Column("v")
+	f.BeginTick(0)
+	c.Set(7)
+	f.BeginTick(1)
+	c.Set(8)
+	f.BeginTick(2) // wraps onto the slot holding 7; must read 0 if unset
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `{"t":2e-09,"v":[0]}`) {
+		t.Fatalf("wrapped row not zero-filled:\n%s", buf.String())
+	}
+}
+
+// TestFlightRecorderTickAllocs locks in the 0 allocs/tick contract of the
+// warm path: BeginTick plus column writes must never allocate once the
+// columns exist.
+func TestFlightRecorderTickAllocs(t *testing.T) {
+	f := NewFlightRecorder(64)
+	cols := make([]*FlightColumn, 16)
+	for i := range cols {
+		cols[i] = f.Column(strings.Repeat("c", i+1))
+	}
+	now := vclock.Time(0)
+	avg := testing.AllocsPerRun(500, func() {
+		now += vclock.Time(250 * time.Millisecond)
+		f.BeginTick(now)
+		for _, c := range cols {
+			c.Set(1.5)
+			c.Add(0.25)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("flight warm path allocates %.2f objects/tick, want 0", avg)
+	}
+}
+
+func TestFlightRecorderLateColumnReadsZeroForOldRows(t *testing.T) {
+	f := NewFlightRecorder(8)
+	a := f.Column("a")
+	f.BeginTick(0)
+	a.Set(1)
+	late := f.Column("late") // created after a row was recorded
+	f.BeginTick(1)
+	late.Set(2)
+	var buf bytes.Buffer
+	if err := f.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[1] != `{"t":0,"v":[1,0]}` {
+		t.Fatalf("pre-creation row = %s, want late column zero", lines[1])
+	}
+}
