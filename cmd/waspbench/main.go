@@ -65,18 +65,32 @@ func main() {
 			fmt.Fprintln(os.Stderr, "waspbench:", err)
 			os.Exit(1)
 		}
+		// Read the record straight back: a report that fails its own
+		// row validation must never enter the bench trajectory.
+		if _, err := loadBenchReport(*benchPath); err != nil {
+			fmt.Fprintln(os.Stderr, "waspbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
 // benchRecord is the per-experiment entry of the -bench-json report.
+// Static (tickless) experiments — fig2/fig7/tab2/tab3 regenerate tables
+// from closed-form models without running the engine — carry no tick
+// metrics at all: the fields are omitted rather than emitted as zeros so
+// downstream tooling can never mistake "no ticks" for "infinitely slow".
 type benchRecord struct {
 	Experiment    string  `json:"experiment"`
 	WallSeconds   float64 `json:"wall_seconds"`
-	Ticks         int64   `json:"ticks"`
-	TicksPerSec   float64 `json:"ticks_per_sec"`
-	BytesPerTick  float64 `json:"bytes_per_tick"`
-	AllocsPerTick float64 `json:"allocs_per_tick"`
+	Ticks         int64   `json:"ticks,omitempty"`
+	TicksPerSec   float64 `json:"ticks_per_sec,omitempty"`
+	BytesPerTick  float64 `json:"bytes_per_tick,omitempty"`
+	AllocsPerTick float64 `json:"allocs_per_tick,omitempty"`
 }
+
+// tickDriven reports whether the record measured an engine-driven
+// experiment (one that advanced simulation ticks).
+func (r benchRecord) tickDriven() bool { return r.Ticks > 0 }
 
 // benchReport is the full -bench-json document. One file per commit forms
 // the repository's bench trajectory.
@@ -134,7 +148,7 @@ func (r *recorder) measure(name string, fn func() error) error {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	rec := benchRecord{Experiment: name, WallSeconds: wall, Ticks: ticks}
-	if wall > 0 {
+	if wall > 0 && ticks > 0 {
 		rec.TicksPerSec = float64(ticks) / wall
 	}
 	if ticks > 0 {
@@ -153,6 +167,37 @@ func (r *recorder) write(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadBenchReport reads a -bench-json document back and validates its
+// rows. A zero-tick row claiming per-tick metrics is corrupt (the old
+// encoder emitted ticks_per_sec:0/allocs_per_tick:0 for static
+// experiments, which poisoned trajectory comparisons); a tick-driven row
+// missing them is equally rejected.
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if report.Schema != "wasp-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, report.Schema)
+	}
+	for _, e := range report.Experiments {
+		if e.tickDriven() {
+			if e.TicksPerSec <= 0 || e.BytesPerTick <= 0 || e.AllocsPerTick <= 0 {
+				return nil, fmt.Errorf("%s: tick-driven row %q missing per-tick metrics", path, e.Experiment)
+			}
+			continue
+		}
+		if e.TicksPerSec != 0 || e.BytesPerTick != 0 || e.AllocsPerTick != 0 {
+			return nil, fmt.Errorf("%s: tickless row %q carries per-tick metrics", path, e.Experiment)
+		}
+	}
+	return &report, nil
 }
 
 func run(name string, seed int64, duration time.Duration, rec *recorder) error {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -63,5 +64,83 @@ func TestBenchJSONRecord(t *testing.T) {
 	}
 	if report.TotalTicks != e.Ticks {
 		t.Errorf("TotalTicks = %d, want %d", report.TotalTicks, e.Ticks)
+	}
+	if _, err := loadBenchReport(path); err != nil {
+		t.Errorf("loadBenchReport rejected a valid tick-driven report: %v", err)
+	}
+}
+
+// TestBenchJSONTicklessRows: static experiments never advance the engine,
+// so their rows must omit every tick metric instead of recording zeros —
+// a ticks_per_sec:0 row used to read as "infinitely slow" in trajectory
+// comparisons.
+func TestBenchJSONTicklessRows(t *testing.T) {
+	rec := newRecorder(1, 0)
+	for _, id := range []string{"fig2", "fig7", "tab2", "tab3"} {
+		if err := run(id, 1, 0, rec); err != nil {
+			t.Fatalf("run(%q): %v", id, err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rec.write(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ticks", "ticks_per_sec", "bytes_per_tick", "allocs_per_tick"} {
+		if strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("tickless report contains %q:\n%s", key, data)
+		}
+	}
+	report, err := loadBenchReport(path)
+	if err != nil {
+		t.Fatalf("loadBenchReport rejected a valid tickless report: %v", err)
+	}
+	if len(report.Experiments) != 4 {
+		t.Fatalf("experiments = %d, want 4", len(report.Experiments))
+	}
+	for _, e := range report.Experiments {
+		if e.tickDriven() {
+			t.Errorf("static experiment %q recorded %d ticks", e.Experiment, e.Ticks)
+		}
+		if e.WallSeconds <= 0 {
+			t.Errorf("experiment %q has no wall time: %+v", e.Experiment, e)
+		}
+	}
+}
+
+// TestLoadBenchReportRejectsCorruptRows pins the reader's validation: a
+// zero-tick row claiming per-tick metrics (the pre-fix encoding) and a
+// tick-driven row missing them are both rejected.
+func TestLoadBenchReportRejectsCorruptRows(t *testing.T) {
+	write := func(t *testing.T, rec benchRecord) string {
+		t.Helper()
+		r := newRecorder(1, 0)
+		r.report.Experiments = append(r.report.Experiments, rec)
+		path := filepath.Join(t.TempDir(), "bench.json")
+		if err := r.write(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	zeroTick := write(t, benchRecord{Experiment: "tab2", WallSeconds: 0.1, TicksPerSec: 31337, AllocsPerTick: 4})
+	if _, err := loadBenchReport(zeroTick); err == nil {
+		t.Error("zero-tick row with per-tick metrics accepted")
+	}
+
+	gutted := write(t, benchRecord{Experiment: "fig10", WallSeconds: 0.1, Ticks: 6000})
+	if _, err := loadBenchReport(gutted); err == nil {
+		t.Error("tick-driven row without per-tick metrics accepted")
+	}
+
+	badSchema := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(badSchema, []byte(`{"schema":"wasp-bench/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchReport(badSchema); err == nil {
+		t.Error("unknown schema accepted")
 	}
 }

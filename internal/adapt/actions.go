@@ -3,6 +3,7 @@ package adapt
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
@@ -671,7 +672,7 @@ func uniqueSites(sites []topology.SiteID) []topology.SiteID {
 }
 
 func sortSites(sites []topology.SiteID) {
-	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	slices.Sort(sites)
 }
 
 func countSiteTasks(sites []topology.SiteID, s topology.SiteID) int {

@@ -26,6 +26,7 @@ import (
 	"github.com/wasp-stream/wasp/internal/metrics"
 	"github.com/wasp-stream/wasp/internal/netsim"
 	"github.com/wasp-stream/wasp/internal/obs"
+	"github.com/wasp-stream/wasp/internal/physical"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/vclock"
@@ -267,6 +268,10 @@ type Controller struct {
 	net    *netsim.Network
 	sched  *vclock.Scheduler
 	replan *ReplanSpec
+
+	// planSession caches the re-plan search space (variant graphs and plan
+	// skeletons) across rounds; built lazily on the first tryReplan.
+	planSession *physical.Session
 
 	ticker         *vclock.Event
 	longTerm       *vclock.Event

@@ -2,7 +2,7 @@ package adapt
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/physical"
@@ -27,8 +27,21 @@ func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 	// admissibility.
 	requireAdmissible := statefulTemplate && c.replan.Spec.Template.Window == 0
 
+	if c.planSession == nil {
+		s, err := physical.NewSession(c.replan.Base, c.replan.Spec, 0)
+		if err != nil {
+			c.reject("re-plan", "planner: "+err.Error())
+			return false
+		}
+		c.planSession = s
+	}
+	var admit func(v *plan.Variant) bool
+	if requireAdmissible {
+		cur := c.replan.Current
+		admit = func(v *plan.Variant) bool { return v.AdmissibleFrom(cur) }
+	}
 	cfg := physical.PlannerConfig{ScheduleConfig: c.scheduleConfig(c.lastRateFactor)}
-	best, _, err := physical.ReplanQuery(c.replan.Base, c.replan.Spec, c.replan.Current, requireAdmissible, c.top, cfg)
+	best, _, err := c.planSession.Plan(c.top, cfg, admit)
 	if err != nil {
 		c.reject("re-plan", "planner: "+err.Error())
 		return false
@@ -40,7 +53,9 @@ func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 
 	carry := c.carryMap(c.replan.Current, best.Variant)
 	newVariant := best.Variant
-	if err := c.eng.BeginReplan(best.Plan, carry, func(doneAt vclock.Time) {
+	// The session owns best.Plan and will re-Schedule it next round; the
+	// engine needs a stable copy to deploy and mutate.
+	if err := c.eng.BeginReplan(best.Plan.Clone(), carry, func(doneAt vclock.Time) {
 		c.replan.Current = newVariant
 		// Stamp the anti-flap cooldown on the operator that triggered the
 		// switch so the next round does not immediately re-adapt it.
@@ -106,6 +121,6 @@ func leafSets(v *plan.Variant) []plan.LeafSet {
 	for _, id := range detutil.SortedKeys(v.CombineNodes) {
 		out = append(out, v.CombineNodes[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

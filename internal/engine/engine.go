@@ -76,6 +76,16 @@ type winAcc struct {
 	maxBorn  vclock.Time
 }
 
+// winSlot is one buffered window in a group's windows slice, which is kept
+// sorted ascending by start. A slice replaces the old map[start]*winAcc:
+// the hot path appends to the last slot (the current window) without
+// allocating, and firing/draining walk the natural sorted order without
+// sorting keys first.
+type winSlot struct {
+	start vclock.Time
+	winAcc
+}
+
 // group is the collective execution of an operator's tasks at one site.
 type group struct {
 	op    *plan.Operator
@@ -83,8 +93,11 @@ type group struct {
 	tasks int
 	inQ   cohortQueue
 
-	// Windowed operators buffer processed output per window start.
-	windows map[vclock.Time]*winAcc
+	// Windowed operators buffer processed output per window start,
+	// ascending by start. windowed distinguishes "windowed operator with
+	// no buffered windows" from "stateless operator".
+	windows  []winSlot
+	windowed bool
 	// maxProcessedBorn is the event-time frontier: windows ending at or
 	// before it fire.
 	maxProcessedBorn vclock.Time
@@ -108,6 +121,25 @@ type group struct {
 	// bpActive tracks the backpressure edge for telemetry: an onset event
 	// fires only on the false→true transition (observability only).
 	bpActive bool
+
+	// Cached invariants of the group, set at construction (addGroup): the
+	// processing budget in events/s, the backpressure bound in events, the
+	// sink flag, and the effective selectivity. op and tasks never change
+	// after construction, so these never go stale.
+	cap     float64
+	bpLimit float64
+	isSink  bool
+	sigma   float64
+	// front caches frontOps membership (set at wiring rebuild, which
+	// always follows a refreshGoodputModel because both are triggered by
+	// the same structural mutations).
+	front bool
+	// out lists the group's outbound send flows (set at wiring rebuild).
+	out []*edgeFlow
+	// fan caches fanPlans[op.ID] for fanOut, stamped by the topo
+	// generation so a mid-tick plan rebuild refreshes it on next use.
+	fan    []fanTarget
+	fanGen uint64
 }
 
 // suspended reports whether the group is withheld from processing by
@@ -138,6 +170,9 @@ type edgeFlow struct {
 	flow       *netsim.Flow
 	eventBytes float64
 	latency    vclock.Time
+	// linkID indexes the engine's per-tick link capacity cache (assigned
+	// at wiring rebuild; every consumer runs behind ensureWiring).
+	linkID int32
 }
 
 // SinkDelivery is one tick's worth of events arriving at a sink.
@@ -167,10 +202,11 @@ type Engine struct {
 
 	failedUntil vclock.Time
 
-	// Partial-failure state: crashed sites and per-site compute slowdowns
-	// (multiplied with the per-(op,site) stragglers above).
-	downSites      map[topology.SiteID]bool
-	siteStragglers map[topology.SiteID]float64
+	// Partial-failure state, dense by SiteID so the hot path indexes
+	// instead of hashing: crashed sites and per-site compute slowdowns
+	// (multiplied with the per-(op,site) stragglers above; 1 = healthy).
+	siteDown  []bool
+	siteStrag []float64
 
 	// Failure loss accounting in source-equivalent units: events destroyed
 	// by site crashes (wiped queues, window state, outbound send queues,
@@ -243,11 +279,54 @@ type Engine struct {
 	// topoGen/flowsGen count cache rebuilds so derived caches (the flight
 	// recorder's column handles) can detect structural change without a
 	// dirty flag of their own.
-	topoGen    uint64
-	flowsGen   uint64
+	topoGen  uint64
+	flowsGen uint64
+	// flowsEpoch bumps on EVERY flow-set mutation (not just cache
+	// rebuilds), invalidating the fan plans' per-sender flow caches the
+	// moment a flow is added or torn down.
+	flowsEpoch uint64
 	flowKeyBuf []flowKey
 	popBuf     []cohort
-	winKeyBuf  []vclock.Time
+
+	// Columnar wiring (see hotpath.go): flat parallel arrays over flowList
+	// plus the canonical group list, rebuilt whenever topoGen/flowsGen
+	// move. The demand/delivery passes sweep these slices linearly instead
+	// of chasing map entries; rebuilds allocate fresh backing arrays so a
+	// snapshot captured earlier in a tick stays valid (same contract as
+	// the PR 4 caches).
+	wiringGen uint64
+	wTopoGen  uint64
+	wFlowsGen uint64
+	groupList []*group // all groups, groupKeyLess order
+	fNet      []*netsim.Flow
+	fBytes    []float64
+	fLatency  []vclock.Time
+	fFromSite []topology.SiteID
+	fToSite   []topology.SiteID
+	fDst      []*group // destination group (nil = vanished mid-reconfig)
+	fSrcFront []bool   // sending operator feeds straight past ingest
+	// Per-tick link capacity cache: flows carry a dense link id into
+	// linkCaps, refreshed once per (tick, wiring, fault) stamp — capacity
+	// is a pure function of (site pair, time, faults) and nothing changes
+	// it mid-tick.
+	linkPairs []sitePair
+	linkCaps  []float64
+	capsValid bool
+	capsAt    vclock.Time
+	capsGen   uint64 // wiringGen the caps were computed under
+	capsFault uint64 // net.LatencyGen the caps were computed under
+	// opFlows indexes flowList by sending operator (contiguous subslices:
+	// flowList sorts by from first), for Sample/QueueLen.
+	opFlows map[plan.OpID][]*edgeFlow
+	// latGen is the net.LatencyGen at the last flow-latency refresh; when
+	// the network reports a latency-affecting change (link fault set or
+	// cleared), every flow's cached latency is re-sampled.
+	latGen uint64
+}
+
+// sitePair is one directed WAN link used by at least one flow.
+type sitePair struct {
+	from, to topology.SiteID
 }
 
 // engineTel caches the engine's registry instruments so hot-path updates
@@ -264,7 +343,7 @@ type engineTel struct {
 // New creates an engine over the given substrate. The engine does not
 // start ticking until Start.
 func New(cfg Config, top *topology.Topology, net *netsim.Network, sched *vclock.Scheduler) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:            cfg.withDefaults(),
 		top:            top,
 		net:            net,
@@ -273,10 +352,14 @@ func New(cfg Config, top *topology.Topology, net *netsim.Network, sched *vclock.
 		flows:          make(map[flowKey]*edgeFlow),
 		sourceFactors:  make(map[plan.OpID]*trace.Trace),
 		stragglers:     make(map[groupKey]float64),
-		downSites:      make(map[topology.SiteID]bool),
-		siteStragglers: make(map[topology.SiteID]float64),
+		siteDown:       make([]bool, top.N()),
+		siteStrag:      make([]float64, top.N()),
 		workloadFactor: trace.Constant(1),
 	}
+	for i := range e.siteStrag {
+		e.siteStrag[i] = 1
+	}
+	return e
 }
 
 // SetObserver wires the engine's telemetry and event tracing to an
@@ -349,14 +432,15 @@ func (e *Engine) InjectStraggler(op plan.OpID, site topology.SiteID, factor floa
 }
 
 // stragglerFactor returns the capacity factor for a group (1 = healthy):
-// the per-(op,site) straggler multiplied by the site-wide one.
+// the per-(op,site) straggler multiplied by the site-wide one. The map
+// probe is skipped entirely while no per-operator straggler is injected —
+// the common case on the tick hot path.
 func (e *Engine) stragglerFactor(g *group) float64 {
-	f := 1.0
-	if v, ok := e.stragglers[groupKey{op: g.op.ID, site: g.site}]; ok {
-		f = v
-	}
-	if v, ok := e.siteStragglers[g.site]; ok {
-		f *= v
+	f := e.siteStrag[g.site]
+	if len(e.stragglers) != 0 {
+		if v, ok := e.stragglers[groupKey{op: g.op.ID, site: g.site}]; ok {
+			f = v * f
+		}
 	}
 	return f
 }
@@ -430,8 +514,21 @@ func (e *Engine) buildGroups() {
 func (e *Engine) addGroup(id plan.OpID, site topology.SiteID, tasks int) *group {
 	g := &group{op: e.plan.Graph.Operator(id), site: site, tasks: tasks}
 	if g.op.Window > 0 {
-		g.windows = make(map[vclock.Time]*winAcc)
+		g.windowed = true
 	}
+	g.cap = g.capacity(e.cfg.SlotRate)
+	g.bpLimit = g.cap * e.cfg.BackpressureSec
+	g.isSink = g.op.Kind == plan.KindSink
+	g.sigma = g.op.Selectivity
+	if g.op.Kind == plan.KindSource {
+		g.sigma = 1
+	}
+	// front is best-effort here (frontOps may not be computed yet during
+	// Deploy); the wiring rebuild that precedes any hot-path use refreshes
+	// it. Setting it now keeps groups created mid-tick by finalizeReconfig
+	// correct for a fan-out in the same tick (the graph is unchanged
+	// there, so frontOps is current).
+	g.front = e.frontOps[g.op.ID]
 	e.groups[groupKey{op: id, site: site}] = g
 	e.topoDirty = true
 	return g
@@ -475,20 +572,36 @@ func (e *Engine) tick(now vclock.Time) {
 	dtSec := time.Duration(dt).Seconds()
 	failed := now <= e.failedUntil
 
-	// 1. Set flow demands from send queues and destination backpressure.
-	// Flows touching a crashed site carry nothing: a dead sender has no
-	// queue left, and a dead receiver holds the sender's queue in place
-	// (backpressure) until the controller re-homes it.
-	flows := e.sortedFlows()
-	for _, f := range flows {
-		if f.flow == nil {
+	// 0. Refresh the columnar wiring and, when the network reports a
+	// latency-affecting change (link fault set/cleared), re-sample each
+	// flow's cached link latency.
+	e.ensureWiring()
+	if lg := e.net.LatencyGen(); lg != e.latGen {
+		e.latGen = lg
+		for i, f := range e.flowList {
+			f.latency = vclock.Time(e.net.Latency(f.key.fromSite, f.key.toSite))
+			e.fLatency[i] = f.latency
+		}
+	}
+
+	// 1. Set flow demands from send queues and destination backpressure —
+	// a linear sweep over the flow columns. Flows touching a crashed site
+	// carry nothing: a dead sender has no queue left, and a dead receiver
+	// holds the sender's queue in place (backpressure) until the
+	// controller re-homes it. A nil destination group means the
+	// destination disappeared mid-reconfiguration: throttled.
+	flows := e.flowList
+	for i, f := range flows {
+		nf := e.fNet[i]
+		if nf == nil {
 			continue
 		}
-		if failed || e.downSites[f.key.fromSite] || e.destThrottled(f) {
-			f.flow.SetDemand(0)
+		if failed || e.siteDown[e.fFromSite[i]] ||
+			e.siteDown[e.fToSite[i]] || e.fDst[i] == nil || e.queueFull(e.fDst[i]) {
+			nf.SetDemand(0)
 			continue
 		}
-		f.flow.SetDemand(f.q.len() * f.eventBytes / dtSec)
+		nf.SetDemand(f.q.len() * e.fBytes[i] / dtSec)
 	}
 
 	// 2. Advance the network: fair-share allocation + bulk transfers.
@@ -559,52 +672,43 @@ func groupKeyLess(a, b groupKey) bool {
 	return a.site < b.site
 }
 
-// destThrottled reports whether a flow's destination refuses more input
-// (backpressure).
-func (e *Engine) destThrottled(f *edgeFlow) bool {
-	if e.downSites[f.key.toSite] {
-		return true // destination site crashed; hold the queue
-	}
-	dst, ok := e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
-	if !ok {
-		return true // destination disappeared mid-reconfiguration
-	}
-	return e.queueFull(dst)
-}
-
 // queueFull applies the backpressure bound: a queue is full when it holds
-// more than BackpressureSec seconds of work at the group's capacity.
+// more than BackpressureSec seconds of work at the group's capacity
+// (precomputed as bpLimit at group construction).
 func (e *Engine) queueFull(g *group) bool {
-	if g.op.Kind == plan.KindSink {
+	if g.isSink {
 		return false
 	}
-	limit := g.capacity(e.cfg.SlotRate) * e.cfg.BackpressureSec
-	return g.inQ.len() >= limit
+	return g.inQ.len() >= g.bpLimit
 }
 
 // deliverFlows moves each flow's granted volume from its send queue into
-// the destination group, aging cohorts by the link latency.
+// the destination group, aging cohorts by the link latency. The flows
+// slice is the columnar snapshot captured at tick start — nothing
+// structural mutates between the demand pass and delivery.
 func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
-	for _, f := range flows {
-		if f.flow == nil {
+	for i, f := range flows {
+		nf := e.fNet[i]
+		if nf == nil {
 			continue
 		}
-		granted := f.flow.Allocated() * dtSec / f.eventBytes
+		granted := nf.Allocated() * dtSec / e.fBytes[i]
 		if granted <= 0 {
 			continue
 		}
-		if e.downSites[f.key.fromSite] || e.downSites[f.key.toSite] {
+		if e.siteDown[e.fFromSite[i]] || e.siteDown[e.fToSite[i]] {
 			continue
 		}
-		dst, ok := e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
-		if !ok {
+		dst := e.fDst[i]
+		if dst == nil {
 			continue
 		}
+		lat := e.fLatency[i]
 		e.popBuf = f.q.popInto(granted, e.popBuf[:0])
 		for _, c := range e.popBuf {
-			dst.inQ.push(c.born-f.latency, c.count, c.worth, c.raw)
+			dst.inQ.push(c.born-lat, c.count, c.worth, c.raw)
 			dst.arrived += c.count
-			if e.frontOps[f.key.from] {
+			if e.fSrcFront[i] {
 				e.transportedSrc += c.src()
 			}
 		}
@@ -616,8 +720,9 @@ func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
 // what makes backlogs accumulate.
 func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
 	e.ensureTopo()
+	base := e.workloadFactor.At(start) // same instant for every source
 	for _, sg := range e.srcGens {
-		factor := e.workloadFactor.At(start)
+		factor := base
 		if tr, ok := e.sourceFactors[sg.id]; ok {
 			factor *= tr.At(start)
 		}
@@ -625,7 +730,7 @@ func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
 		if count <= 0 {
 			continue
 		}
-		if e.downSites[sg.g.site] {
+		if e.siteDown[sg.g.site] {
 			// The ingest site is dead: external events keep arriving
 			// (reality does not pause) but nobody is there to accept
 			// them — they are lost, not queued.
@@ -641,10 +746,10 @@ func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
 
 // processGroup runs one task group for one tick.
 func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed bool) {
-	if e.downSites[g.site] {
+	if e.siteDown[g.site] {
 		return
 	}
-	if g.op.Kind == plan.KindSink {
+	if g.isSink {
 		// Sinks consume instantly; record delivery delay. Deliveries are
 		// weighted by source-equivalents so that delay statistics weight
 		// every source event fairly, regardless of how much aggregation
@@ -666,7 +771,7 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 		return
 	}
 
-	budget := g.capacity(e.cfg.SlotRate) * e.stragglerFactor(g) * dtSec
+	budget := g.cap * e.stragglerFactor(g) * dtSec
 	if budget <= 0 {
 		return
 	}
@@ -688,16 +793,13 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 			g.dropped += c.count
 			e.totalDropped += c.count
 			e.droppedSrcEquiv += c.src()
-			if !e.frontOps[g.op.ID] {
+			if !g.front {
 				e.droppedBeyondSrc += c.src()
 			}
 		}
 	}
 
-	sigma := g.op.Selectivity
-	if g.op.Kind == plan.KindSource {
-		sigma = 1
-	}
+	sigma := g.sigma
 
 	// Downstream fan-out is blocked while any send queue is full: the
 	// group stops processing (backpressure propagates upstream).
@@ -718,13 +820,9 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 		}
 		outWorth := c.worth / sigma
 		outRaw := c.raw
-		if g.windows != nil {
+		if g.windowed {
 			start := windowStart(c.born, g.op.Window)
-			w := g.windows[start]
-			if w == nil {
-				w = &winAcc{}
-				g.windows[start] = w
-			}
+			w := g.winAt(start)
 			w.count += out
 			w.srcTotal += out * outWorth
 			if c.born > w.maxBorn {
@@ -737,7 +835,7 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 	}
 
 	// Fire completed windows.
-	if g.windows != nil {
+	if g.windowed {
 		e.fireWindows(g, now)
 	}
 }
@@ -754,16 +852,52 @@ func (e *Engine) failSafeSLO() vclock.Time { return vclock.Time(e.cfg.SLO) }
 // lateness to the emitted cohort (its born time stays the window's max
 // event time, the paper's §8.3 convention).
 func (e *Engine) fireWindows(g *group, now vclock.Time) {
-	e.winKeyBuf = detutil.SortedKeysInto(g.windows, e.winKeyBuf[:0])
-	for _, start := range e.winKeyBuf {
-		if start+vclock.Time(g.op.Window) > now {
-			continue
+	fired := 0
+	for i := range g.windows {
+		w := &g.windows[i]
+		if w.start+vclock.Time(g.op.Window) > now {
+			// Starts ascend and the window size is constant per group, so
+			// the first not-yet-due window implies the rest are not due.
+			break
 		}
-		w := g.windows[start]
 		g.emitted += w.count
 		e.fanOut(g, w.maxBorn, w.count, w.srcTotal/w.count, false)
-		delete(g.windows, start)
+		fired++
 	}
+	if fired > 0 {
+		g.windows = g.windows[:copy(g.windows, g.windows[fired:])]
+	}
+}
+
+// winAt returns the accumulator for the window starting at `start`,
+// inserting a fresh slot in sorted position if absent. The returned
+// pointer is valid until the next insert. Steady-state inserts hit the
+// last slot (the current window) without searching or allocating.
+func (g *group) winAt(start vclock.Time) *winAcc {
+	n := len(g.windows)
+	if n > 0 && g.windows[n-1].start == start {
+		return &g.windows[n-1].winAcc
+	}
+	if n == 0 || g.windows[n-1].start < start {
+		g.windows = append(g.windows, winSlot{start: start})
+		return &g.windows[len(g.windows)-1].winAcc
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.windows[mid].start < start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if g.windows[lo].start == start {
+		return &g.windows[lo].winAcc
+	}
+	g.windows = append(g.windows, winSlot{})
+	copy(g.windows[lo+1:], g.windows[lo:])
+	g.windows[lo] = winSlot{start: start}
+	return &g.windows[lo].winAcc
 }
 
 // windowStart mirrors stream.windowStart for the fluid model.
@@ -779,15 +913,19 @@ func windowStart(t vclock.Time, size time.Duration) vclock.Time {
 // operator, splitting across its sites by task share.
 func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bool) {
 	e.ensureTopo()
-	for _, ft := range e.fanPlans[g.op.ID] {
-		for _, fs := range ft.sites {
+	if g.fanGen != e.topoGen {
+		g.fan, g.fanGen = e.fanPlans[g.op.ID], e.topoGen
+	}
+	for _, ft := range g.fan {
+		for si := range ft.sites {
+			fs := &ft.sites[si]
 			n := count * fs.share
 			if n <= 0 {
 				continue
 			}
 			if fs.site == g.site {
-				dst, ok := e.groups[groupKey{op: ft.down, site: fs.site}]
-				if !ok {
+				dst := fs.dst
+				if dst == nil {
 					// The destination group vanished (crash teardown racing
 					// a window fire): the events die with it.
 					e.lostSrcEquiv += n * worth
@@ -795,14 +933,32 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 				}
 				dst.inQ.push(born, n, worth, raw)
 				dst.arrived += n
-				if e.frontOps[g.op.ID] {
+				if g.front {
 					e.transportedSrc += n * worth
 				}
 				continue
 			}
-			f := e.flows[flowKey{from: g.op.ID, to: ft.down, fromSite: g.site, toSite: fs.site}]
+			var f *edgeFlow
+			if fs.flowEpoch == e.flowsEpoch && int(g.site) < len(fs.flowBySrc) {
+				f = fs.flowBySrc[g.site]
+			}
 			if f == nil {
-				f = e.addFlow(g.op.ID, ft.down, g.site, fs.site)
+				f = e.flows[flowKey{from: g.op.ID, to: ft.down, fromSite: g.site, toSite: fs.site}]
+				if f == nil {
+					f = e.addFlow(g.op.ID, ft.down, g.site, fs.site) // bumps flowsEpoch
+				}
+				if fs.flowEpoch != e.flowsEpoch || fs.flowBySrc == nil {
+					if cap(fs.flowBySrc) < len(e.siteDown) {
+						fs.flowBySrc = make([]*edgeFlow, len(e.siteDown))
+					} else {
+						fs.flowBySrc = fs.flowBySrc[:len(e.siteDown)]
+						clear(fs.flowBySrc)
+					}
+					fs.flowEpoch = e.flowsEpoch
+				}
+				if int(g.site) < len(fs.flowBySrc) {
+					fs.flowBySrc[g.site] = f
+				}
 			}
 			f.q.push(born, n, worth, raw)
 		}
@@ -811,11 +967,13 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 
 // sendBlocked reports whether any of the group's send queues is over the
 // backpressure bound (measured in seconds of transmission at current link
-// capacity).
+// capacity). ensureWiring runs first so flows added earlier in the same
+// tick (fan-out to a new site pair) are visible, exactly as the map-backed
+// index behaved.
 func (e *Engine) sendBlocked(g *group) bool {
-	e.ensureFlows()
-	for _, f := range e.outFlows[groupKey{op: g.op.ID, site: g.site}] {
-		linkCap := e.net.Capacity(f.key.fromSite, f.key.toSite, e.lastNow)
+	e.ensureWiring()
+	for _, f := range g.out {
+		linkCap := e.linkCap(f.linkID)
 		if linkCap <= 0 {
 			if !f.q.empty() {
 				return true
@@ -830,6 +988,24 @@ func (e *Engine) sendBlocked(g *group) bool {
 	return false
 }
 
+// linkCap returns the capacity of the dense link id at the current tick,
+// recomputing the per-tick cache when the (time, wiring, fault) stamp
+// moved. Capacity at a fixed instant changes only through link faults
+// (tracked by net.LatencyGen) — traces are pure functions of time — so
+// the stamp is exact.
+func (e *Engine) linkCap(id int32) float64 {
+	if !e.capsValid || e.capsAt != e.lastNow || e.capsGen != e.wiringGen || e.capsFault != e.net.LatencyGen() {
+		e.capsValid = true
+		e.capsAt = e.lastNow
+		e.capsGen = e.wiringGen
+		e.capsFault = e.net.LatencyGen()
+		for i, p := range e.linkPairs {
+			e.linkCaps[i] = e.net.Capacity(p.from, p.to, e.lastNow)
+		}
+	}
+	return e.linkCaps[id]
+}
+
 // updateBackpressure refreshes each group's backpressure flag: a group is
 // backpressured when its input queue or any of its send queues is at the
 // bound, so next tick's flow demands and processing observe it. With an
@@ -837,7 +1013,8 @@ func (e *Engine) sendBlocked(g *group) bool {
 // false→true transition emits a backpressure.onset event.
 func (e *Engine) updateBackpressure() {
 	if e.obs == nil {
-		for _, g := range e.groups {
+		e.ensureWiring()
+		for _, g := range e.groupList {
 			if e.queueFull(g) || e.sendBlocked(g) {
 				g.backpressured = true
 			}

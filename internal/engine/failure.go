@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -26,10 +25,10 @@ import (
 // queues (backpressure) until the placement changes. Crashing a site that
 // is already down is a no-op.
 func (e *Engine) CrashSite(site topology.SiteID) {
-	if e.downSites[site] {
+	if e.siteDown[site] {
 		return
 	}
-	e.downSites[site] = true
+	e.siteDown[site] = true
 
 	var lost, lostBeyond float64
 	if e.plan != nil {
@@ -93,15 +92,13 @@ func (e *Engine) wipeGroup(g *group) (lost, lostBeyond float64) {
 			lostBeyond += c.src()
 		}
 	}
-	if g.windows != nil {
-		for _, start := range detutil.SortedKeys(g.windows) {
-			lost += g.windows[start].srcTotal
-			if beyond {
-				lostBeyond += g.windows[start].srcTotal
-			}
+	for i := range g.windows {
+		lost += g.windows[i].srcTotal
+		if beyond {
+			lostBeyond += g.windows[i].srcTotal
 		}
-		g.windows = make(map[vclock.Time]*winAcc)
 	}
+	g.windows = g.windows[:0]
 	return lost, lostBeyond
 }
 
@@ -122,21 +119,27 @@ func (e *Engine) pastIngest(id plan.OpID) bool {
 // migrated state does not return until the controller places tasks there
 // again. Restoring a live site is a no-op.
 func (e *Engine) RestoreSite(site topology.SiteID) {
-	if !e.downSites[site] {
+	if !e.siteDown[site] {
 		return
 	}
-	delete(e.downSites, site)
+	e.siteDown[site] = false
 	if e.obs != nil {
 		e.obs.Emit("fault.site_restore", obs.Int("site", int(site)))
 	}
 }
 
 // SiteDown reports whether the site is currently crashed.
-func (e *Engine) SiteDown(site topology.SiteID) bool { return e.downSites[site] }
+func (e *Engine) SiteDown(site topology.SiteID) bool { return e.siteDown[site] }
 
 // DownSites returns the crashed sites in ascending order.
 func (e *Engine) DownSites() []topology.SiteID {
-	return detutil.SortedKeys(e.downSites)
+	var out []topology.SiteID
+	for s, down := range e.siteDown {
+		if down {
+			out = append(out, topology.SiteID(s))
+		}
+	}
+	return out
 }
 
 // SetSiteStraggler degrades the processing capacity of every task group
@@ -145,10 +148,10 @@ func (e *Engine) DownSites() []topology.SiteID {
 // Factor ≥ 1 or ≤ 0 clears it.
 func (e *Engine) SetSiteStraggler(site topology.SiteID, factor float64) {
 	if factor >= 1 || factor <= 0 {
-		delete(e.siteStragglers, site)
+		e.siteStrag[site] = 1
 		return
 	}
-	e.siteStragglers[site] = factor
+	e.siteStrag[site] = factor
 }
 
 // Lost reports cumulative failure losses in source-equivalent units:
@@ -176,18 +179,16 @@ func (e *Engine) SnapshotGroup(op plan.OpID, site topology.SiteID) ([]byte, erro
 	if !ok {
 		return nil, fmt.Errorf("engine: no group for op %d at site %d", op, site)
 	}
-	if e.downSites[site] {
+	if e.siteDown[site] {
 		return nil, fmt.Errorf("engine: site %d is down", site)
 	}
-	starts := detutil.SortedKeys(g.windows)
-
-	buf := make([]byte, 0, 1+8+4+len(starts)*32)
+	buf := make([]byte, 0, 1+8+4+len(g.windows)*32)
 	buf = append(buf, snapshotVersion)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(g.maxProcessedBorn))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(starts)))
-	for _, start := range starts {
-		w := g.windows[start]
-		buf = binary.BigEndian.AppendUint64(buf, uint64(start))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(g.windows)))
+	for i := range g.windows {
+		w := &g.windows[i]
+		buf = binary.BigEndian.AppendUint64(buf, uint64(w.start))
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(w.count))
 		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(w.srcTotal))
 		buf = binary.BigEndian.AppendUint64(buf, uint64(w.maxBorn))
@@ -208,7 +209,7 @@ func (e *Engine) RestoreOperatorState(op plan.OpID, data []byte) error {
 	}
 	var groups []*group
 	for _, g := range e.opGroups(op) {
-		if !e.downSites[g.site] {
+		if !e.siteDown[g.site] {
 			groups = append(groups, g)
 		}
 	}
@@ -225,15 +226,11 @@ func (e *Engine) RestoreOperatorState(op plan.OpID, data []byte) error {
 		if frontier > g.maxProcessedBorn {
 			g.maxProcessedBorn = frontier
 		}
-		if g.windows == nil {
+		if !g.windowed {
 			continue // stateless operator: only the frontier carries over
 		}
 		for _, w := range wins {
-			dst := g.windows[w.start]
-			if dst == nil {
-				dst = &winAcc{}
-				g.windows[w.start] = dst
-			}
+			dst := g.winAt(w.start)
 			dst.count += w.count * share
 			dst.srcTotal += w.srcTotal * share
 			if w.maxBorn > dst.maxBorn {

@@ -33,7 +33,7 @@ func TestFlightAllocsCeiling(t *testing.T) {
 		}
 	})
 	// Same ceiling as TestTickAllocsCeiling: flight recording adds zero.
-	const ceiling = 32
+	const ceiling = 8
 	if avg > ceiling {
 		t.Errorf("tick with flight recorder allocates %.1f objects/op, want <= %d", avg, ceiling)
 	}

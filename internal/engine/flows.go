@@ -29,6 +29,7 @@ func (e *Engine) addFlow(from, to plan.OpID, fromSite, toSite topology.SiteID) *
 	}
 	e.flows[key] = f
 	e.flowsDirty = true
+	e.flowsEpoch++
 	return f
 }
 
@@ -41,6 +42,7 @@ func (e *Engine) rebuildFlows() {
 	old := e.flows
 	e.flows = make(map[flowKey]*edgeFlow, len(old))
 	e.flowsDirty = true
+	e.flowsEpoch++
 
 	// Create the flow lattice for the current placement.
 	for _, from := range e.plan.Graph.OperatorIDs() {

@@ -12,8 +12,8 @@ package engine
 //     (group deletion + Sites mutation), and progressReplan (plan
 //     replacement). Guards stageOrder, stageGroups, srcGens, fanPlans.
 //   - flowsDirty: set by addFlow, rebuildFlows, and progressReplan's flow
-//     teardown. Guards flowList (the sortedFlows order) and outFlows (the
-//     per-group send-queue index used by backpressure checks).
+//     teardown. Guards flowList (the sortedFlows order); ensureWiring
+//     layers the columnar flow/group/link tables on top of both gens.
 //
 // CrashSite/RestoreSite/InjectStraggler/Halt/Resume mutate per-group or
 // per-site state only — group pointers stay valid — so they invalidate
@@ -26,15 +26,33 @@ package engine
 
 import (
 	"github.com/wasp-stream/wasp/internal/detutil"
+	"github.com/wasp-stream/wasp/internal/netsim"
 	"github.com/wasp-stream/wasp/internal/plan"
 	"github.com/wasp-stream/wasp/internal/topology"
+	"github.com/wasp-stream/wasp/internal/vclock"
 )
 
 // fanSite is one destination site of a cached fan-out target with its
-// precomputed task share.
+// precomputed task share and resolved delivery endpoints, so the per-tick
+// fan-out avoids hashing group/flow keys:
+//
+//   - dst is the same-site destination group, resolved when the fan plan
+//     is rebuilt. Safe to resolve eagerly because every mutation of the
+//     group set (addGroup, buildGroups, finalizeReconfig's teardown) sets
+//     topoDirty, which discards the whole fan plan. A nil dst reproduces
+//     the map-miss behaviour: the events are counted as lost.
+//   - flowBySrc caches the cross-site flow per SENDER site (fan plans are
+//     shared by all groups of the from-operator, so the cache must be
+//     keyed by the sender's site). Entries are valid only while flowEpoch
+//     matches the engine's flow-set epoch, which bumps on every flow
+//     add/teardown; a stale or missing entry falls back to the map (and
+//     lazy addFlow), exactly as before.
 type fanSite struct {
-	site  topology.SiteID
-	share float64
+	site      topology.SiteID
+	share     float64
+	dst       *group
+	flowBySrc []*edgeFlow
+	flowEpoch uint64
 }
 
 // fanTarget is one downstream operator of a cached fan-out plan.
@@ -104,6 +122,7 @@ func (e *Engine) ensureTopo() {
 				ft.sites = append(ft.sites, fanSite{
 					site:  site,
 					share: float64(countSites(downStage.Sites, site)) / total,
+					dst:   e.groups[groupKey{op: downID, site: site}],
 				})
 			}
 			targets = append(targets, ft)
@@ -114,7 +133,7 @@ func (e *Engine) ensureTopo() {
 }
 
 // ensureFlows rebuilds the flow-derived caches when dirty: the canonical
-// sorted flow list and the per-(op, site) outbound flow index.
+// sorted flow list.
 func (e *Engine) ensureFlows() {
 	if !e.flowsDirty {
 		return
@@ -123,13 +142,83 @@ func (e *Engine) ensureFlows() {
 	e.flowsGen++
 	e.flowKeyBuf = detutil.SortedKeysFuncInto(e.flows, e.flowKeyBuf[:0], flowKeyLess)
 	list := make([]*edgeFlow, len(e.flowKeyBuf))
-	out := make(map[groupKey][]*edgeFlow, len(e.groups))
 	for i, k := range e.flowKeyBuf {
-		f := e.flows[k]
-		list[i] = f
-		gk := groupKey{op: k.from, site: k.fromSite}
-		out[gk] = append(out[gk], f)
+		list[i] = e.flows[k]
 	}
 	e.flowList = list
-	e.outFlows = out
+}
+
+// ensureWiring rebuilds the columnar tick wiring when either structural
+// generation moved: the canonical group list (groupKeyLess order) with
+// each group's cached front flag and outbound flow list, the flat flow
+// columns parallel to flowList (netsim flow, event bytes, latency, site
+// pair, destination group, past-ingest flag, dense link id), the link
+// table behind the per-tick capacity cache, and the per-operator flow
+// index. All slices are freshly allocated — a snapshot captured earlier
+// in the tick can never be overwritten by a mid-tick rebuild.
+func (e *Engine) ensureWiring() {
+	e.ensureTopo()
+	e.ensureFlows()
+	if e.wTopoGen == e.topoGen && e.wFlowsGen == e.flowsGen {
+		return
+	}
+	e.wTopoGen, e.wFlowsGen = e.topoGen, e.flowsGen
+	e.wiringGen++
+	e.capsValid = false
+
+	gl := make([]*group, 0, len(e.groups))
+	for _, k := range detutil.SortedKeysFunc(e.groups, groupKeyLess) {
+		gl = append(gl, e.groups[k])
+	}
+	for _, g := range gl {
+		g.cap = g.capacity(e.cfg.SlotRate)
+		g.bpLimit = g.cap * e.cfg.BackpressureSec
+		g.isSink = g.op.Kind == plan.KindSink
+		g.sigma = g.op.Selectivity
+		if g.op.Kind == plan.KindSource {
+			g.sigma = 1
+		}
+		g.front = e.frontOps[g.op.ID]
+		g.out = nil
+	}
+	e.groupList = gl
+
+	n := len(e.flowList)
+	fNet := make([]*netsim.Flow, n)
+	fBytes := make([]float64, n)
+	fLatency := make([]vclock.Time, n)
+	fFromSite := make([]topology.SiteID, n)
+	fToSite := make([]topology.SiteID, n)
+	fDst := make([]*group, n)
+	fSrcFront := make([]bool, n)
+	linkIdx := make(map[sitePair]int32, len(e.linkPairs))
+	pairs := make([]sitePair, 0, len(e.linkPairs))
+	opFlows := make(map[plan.OpID][]*edgeFlow)
+	for i, f := range e.flowList {
+		fNet[i] = f.flow
+		fBytes[i] = f.eventBytes
+		fLatency[i] = f.latency
+		fFromSite[i] = f.key.fromSite
+		fToSite[i] = f.key.toSite
+		fDst[i] = e.groups[groupKey{op: f.key.to, site: f.key.toSite}]
+		fSrcFront[i] = e.frontOps[f.key.from]
+		pair := sitePair{from: f.key.fromSite, to: f.key.toSite}
+		id, ok := linkIdx[pair]
+		if !ok {
+			id = int32(len(pairs))
+			pairs = append(pairs, pair)
+			linkIdx[pair] = id
+		}
+		f.linkID = id
+		if g, ok := e.groups[groupKey{op: f.key.from, site: f.key.fromSite}]; ok {
+			g.out = append(g.out, f)
+		}
+		opFlows[f.key.from] = append(opFlows[f.key.from], f)
+	}
+	e.fNet, e.fBytes, e.fLatency = fNet, fBytes, fLatency
+	e.fFromSite, e.fToSite = fFromSite, fToSite
+	e.fDst, e.fSrcFront = fDst, fSrcFront
+	e.linkPairs = pairs
+	e.linkCaps = make([]float64, len(pairs))
+	e.opFlows = opFlows
 }

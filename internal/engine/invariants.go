@@ -69,8 +69,8 @@ func (e *Engine) inFlightSrcEquiv() float64 {
 	for _, id := range detutil.SortedKeys(e.plan.Stages) {
 		for _, g := range e.opGroups(id) {
 			total += g.inQ.srcTotal()
-			for _, start := range detutil.SortedKeys(g.windows) {
-				total += g.windows[start].srcTotal
+			for i := range g.windows {
+				total += g.windows[i].srcTotal
 			}
 		}
 	}

@@ -188,10 +188,10 @@ func (e *Engine) ReconfigStatuses(stallAfter vclock.Time) []ReconfigStatus {
 			case tr.Canceled():
 				st.Doomed = true
 				st.Reason = fmt.Sprintf("transfer %d→%d canceled", int(tr.From), int(tr.To))
-			case e.downSites[tr.From]:
+			case e.siteDown[tr.From]:
 				st.Doomed = true
 				st.Reason = fmt.Sprintf("source site %d crashed mid-transfer", int(tr.From))
-			case e.downSites[tr.To]:
+			case e.siteDown[tr.To]:
 				st.Doomed = true
 				st.Reason = fmt.Sprintf("destination site %d crashed mid-transfer", int(tr.To))
 			case e.net.Capacity(tr.From, tr.To, now) <= 0:
@@ -261,11 +261,12 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 	var frontier vclock.Time
 	for _, g := range old {
 		carriedQ = g.inQ.popAllInto(carriedQ)
-		for start, w := range g.windows {
-			dst := carriedWins[start]
+		for i := range g.windows {
+			w := &g.windows[i]
+			dst := carriedWins[w.start]
 			if dst == nil {
 				dst = &winAcc{}
-				carriedWins[start] = dst
+				carriedWins[w.start] = dst
 			}
 			dst.count += w.count
 			dst.srcTotal += w.srcTotal
@@ -305,9 +306,11 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 		for _, c := range carriedQ {
 			g.inQ.push(c.born, c.count*share, c.worth, c.raw)
 		}
-		if g.windows != nil {
-			for start, w := range carriedWins {
-				g.windows[start] = &winAcc{count: w.count * share, srcTotal: w.srcTotal * share, maxBorn: w.maxBorn}
+		if g.windowed {
+			for _, start := range detutil.SortedKeys(carriedWins) {
+				w := carriedWins[start]
+				g.windows = append(g.windows, winSlot{start: start,
+					winAcc: winAcc{count: w.count * share, srcTotal: w.srcTotal * share, maxBorn: w.maxBorn}})
 			}
 		}
 	}
@@ -441,11 +444,12 @@ func (e *Engine) progressReplan(now vclock.Time) {
 		c := &carried{wins: make(map[vclock.Time]*winAcc)}
 		for _, g := range e.opGroups(oldID) {
 			c.q = g.inQ.popAllInto(c.q)
-			for start, w := range g.windows {
-				dst := c.wins[start]
+			for i := range g.windows {
+				w := &g.windows[i]
+				dst := c.wins[w.start]
 				if dst == nil {
 					dst = &winAcc{}
-					c.wins[start] = dst
+					c.wins[w.start] = dst
 				}
 				dst.count += w.count
 				dst.srcTotal += w.srcTotal
@@ -468,6 +472,7 @@ func (e *Engine) progressReplan(now vclock.Time) {
 	}
 	e.flows = make(map[flowKey]*edgeFlow)
 	e.flowsDirty = true
+	e.flowsEpoch++
 
 	// Install the new plan and groups.
 	e.plan = rp.newPlan
@@ -487,9 +492,11 @@ func (e *Engine) progressReplan(now vclock.Time) {
 			for _, co := range c.q {
 				g.inQ.push(co.born, co.count*share, co.worth, co.raw)
 			}
-			if g.windows != nil {
-				for start, w := range c.wins {
-					g.windows[start] = &winAcc{count: w.count * share, srcTotal: w.srcTotal * share, maxBorn: w.maxBorn}
+			if g.windowed {
+				for _, start := range detutil.SortedKeys(c.wins) {
+					w := c.wins[start]
+					g.windows = append(g.windows, winSlot{start: start,
+						winAcc: winAcc{count: w.count * share, srcTotal: w.srcTotal * share, maxBorn: w.maxBorn}})
 				}
 			}
 			if c.frontier > g.maxProcessedBorn {
@@ -551,13 +558,13 @@ func (e *Engine) drained(carry map[plan.OpID]plan.OpID) bool {
 			if len(g.windows) == 0 {
 				continue
 			}
-			for _, start := range detutil.SortedKeys(g.windows) {
-				w := g.windows[start]
+			for i := range g.windows {
+				w := &g.windows[i]
 				g.emitted += w.count
 				e.fanOut(g, w.maxBorn, w.count, w.srcTotal/w.count, false)
-				delete(g.windows, start)
 				fired = true
 			}
+			g.windows = g.windows[:0]
 		}
 	}
 	return !fired

@@ -96,6 +96,80 @@ func TestStepAllocsCeiling(t *testing.T) {
 	}
 }
 
+// tenKLinkNet loads a 101-site testbed with one flow per ordered site
+// pair — 10,100 live links, the scale the incremental allocator is
+// specified against.
+func tenKLinkNet(tb testing.TB) (*Network, []*Flow) {
+	tb.Helper()
+	cfg := topology.DefaultGenConfig(1)
+	cfg.EdgeSites = 93 // 93 edge + 8 DC = 101 sites = 10,100 ordered pairs
+	top := topology.Generate(cfg)
+	n := New(top)
+	sites := top.N()
+	flows := make([]*Flow, 0, sites*(sites-1))
+	for from := 0; from < sites; from++ {
+		for to := 0; to < sites; to++ {
+			if from == to {
+				continue
+			}
+			f := n.AddFlow(topology.SiteID(from), topology.SiteID(to))
+			f.SetDemand(float64((from*131+to*17)%97+1) * 1e4)
+			flows = append(flows, f)
+		}
+	}
+	return n, flows
+}
+
+// TestStepAllocsCeiling10kLinks pins the incremental allocator's contract
+// at scale: with 10k loaded links and stable demands a step re-solves no
+// link and allocates nothing, and perturbing one flow's demand per step
+// re-solves exactly that link — still inside the ≤8 budget, because the
+// dirty list and claimant scratch are reused.
+func TestStepAllocsCeiling10kLinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-link grid in -short mode")
+	}
+	n, flows := tenKLinkNet(t)
+	const dt = 250 * time.Millisecond
+	now := vclock.Time(dt)
+	n.Step(now, dt) // warm: first step solves every link once
+
+	avg := testing.AllocsPerRun(50, func() {
+		now += vclock.Time(dt)
+		n.Step(now, dt)
+	})
+	if avg > 0 {
+		t.Errorf("quiescent 10k-link Step allocates %.1f objects/op, want 0", avg)
+	}
+
+	i := 0
+	avg = testing.AllocsPerRun(50, func() {
+		f := flows[i%len(flows)]
+		f.SetDemand(f.Demand() + 1)
+		i++
+		now += vclock.Time(dt)
+		n.Step(now, dt)
+	})
+	if avg > 8 {
+		t.Errorf("perturbed 10k-link Step allocates %.1f objects/op, want <= 8", avg)
+	}
+}
+
+// BenchmarkNetStep10kLinks measures the quiescent sweep at scale: the
+// cost of deciding "nothing changed" across 10k live links.
+func BenchmarkNetStep10kLinks(b *testing.B) {
+	n, _ := tenKLinkNet(b)
+	const dt = 250 * time.Millisecond
+	now := vclock.Time(dt)
+	n.Step(now, dt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += vclock.Time(dt)
+		n.Step(now, dt)
+	}
+}
+
 // TestFairShareMatchesSorted cross-checks the buffer-reuse kernel against
 // a straightforward reference implementation on adversarial demand
 // patterns, including ties and zero demands.

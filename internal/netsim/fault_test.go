@@ -40,6 +40,30 @@ func TestLinkFaultBlackoutAndDegrade(t *testing.T) {
 	n.ClearLinkFault(1, 0)
 }
 
+func TestLinkFaultInflatesLatency(t *testing.T) {
+	n := New(twoSite(t))
+	base := n.Latency(0, 1)
+
+	n.SetLinkFault(0, 1, 0.25)
+	if got := n.Latency(0, 1); got != time.Duration(float64(base)/0.25) {
+		t.Fatalf("degraded latency = %v, want %v", got, time.Duration(float64(base)/0.25))
+	}
+	// The reverse direction is unaffected.
+	if got := n.Latency(1, 0); got != base {
+		t.Fatalf("reverse latency = %v, want %v", got, base)
+	}
+	// A blackout keeps the base latency: capacity 0 already stops
+	// delivery, and consumers precompute delivery offsets for the heal.
+	n.SetLinkFault(0, 1, 0)
+	if got := n.Latency(0, 1); got != base {
+		t.Fatalf("blackout latency = %v, want base %v", got, base)
+	}
+	n.ClearLinkFault(0, 1)
+	if got := n.Latency(0, 1); got != base {
+		t.Fatalf("healed latency = %v, want %v", got, base)
+	}
+}
+
 func TestLinkFaultStacksWithDynamicsAndClamps(t *testing.T) {
 	n := New(twoSite(t))
 	n.SetGlobalFactor(trace.Constant(0.5))
@@ -115,13 +139,14 @@ func TestMaxMinFairShareDemandTies(t *testing.T) {
 }
 
 // TestTransferEpsilonBoundary pins the completion rule: a transfer is done
-// when remaining ≤ 1e-6 bytes. 2^-20 (≈9.54e-7) and 2^-19 (≈1.91e-6) are
-// exactly representable residues on either side of the boundary — the
-// link moves exactly capacity bytes per 1 s step, so total = cap + 2^-20
-// lands at remaining = 2^-20 after one step with no rounding.
+// when remaining ≤ total×1e-9 — relative to the payload, not an absolute
+// byte count. For a total of ~1e7 bytes the threshold is ~1e-2; 2^-7
+// (0.0078125) and 2^-6 (0.015625) are exactly representable residues on
+// either side — the link moves exactly capacity bytes per 1 s step, so
+// total = cap + 2^-7 lands at remaining = 2^-7 with no rounding.
 func TestTransferEpsilonBoundary(t *testing.T) {
 	n := New(twoSite(t)) // 0→1 capacity 1e7 B/s
-	below := n.StartTransfer(0, 1, 1e7+math.Ldexp(1, -20))
+	below := n.StartTransfer(0, 1, 1e7+math.Ldexp(1, -7))
 	step(n, vclock.Time(time.Second))
 	if !below.Done() {
 		t.Fatalf("transfer with sub-epsilon residue %v not completed", below.Remaining())
@@ -134,12 +159,12 @@ func TestTransferEpsilonBoundary(t *testing.T) {
 	}
 
 	n2 := New(twoSite(t))
-	above := n2.StartTransfer(0, 1, 1e7+math.Ldexp(1, -19))
+	above := n2.StartTransfer(0, 1, 1e7+math.Ldexp(1, -6))
 	step(n2, vclock.Time(time.Second))
 	if above.Done() {
 		t.Fatal("transfer with super-epsilon residue completed early")
 	}
-	if got, want := above.Remaining(), math.Ldexp(1, -19); got != want {
+	if got, want := above.Remaining(), math.Ldexp(1, -6); got != want {
 		t.Fatalf("Remaining = %v, want exactly %v", got, want)
 	}
 	step(n2, vclock.Time(2*time.Second))
@@ -148,5 +173,68 @@ func TestTransferEpsilonBoundary(t *testing.T) {
 	}
 	if above.DoneAt() != vclock.Time(2*time.Second) {
 		t.Fatalf("DoneAt = %v, want 2s", above.DoneAt())
+	}
+}
+
+// TestTransferEpsilonTiny: a transfer smaller than the old absolute 1e-6
+// epsilon must still actually move its payload — under an absolute cut-off
+// it would be "complete" without a single allocation grant. With the
+// relative rule it completes only once the link delivers the bytes.
+func TestTransferEpsilonTiny(t *testing.T) {
+	n := New(twoSite(t))
+	tiny := n.StartTransfer(0, 1, 1e-8) // below the old absolute epsilon
+	// Blackout: no bandwidth, so nothing can move.
+	n.SetLinkFault(0, 1, 0)
+	step(n, vclock.Time(time.Second))
+	if tiny.Done() {
+		t.Fatal("tiny transfer completed over a blacked-out link without moving")
+	}
+	n.ClearLinkFault(0, 1)
+	step(n, vclock.Time(2*time.Second))
+	if !tiny.Done() {
+		t.Fatalf("tiny transfer not completed after link healed (remaining %v)", tiny.Remaining())
+	}
+}
+
+// TestTransferEpsilonHuge: a multi-GB transfer accumulates float error
+// proportional to its size; the relative epsilon absorbs a residue the old
+// absolute 1e-6 would leave spinning. A 1e15-byte transfer with a residue
+// of 1e5 (« total×1e-9 = 1e6, » 1e-6) completes on the step that leaves
+// that residue.
+func TestTransferEpsilonHuge(t *testing.T) {
+	top := twoSite(t)
+	n := New(top)
+	// Capacity 1e7 B/s; run one 1e8-second step so one grant moves 1e15.
+	huge := n.StartTransfer(0, 1, 1e15+1e5)
+	step2 := func(now vclock.Time, dt time.Duration) { n.Step(now, dt) }
+	step2(vclock.Time(1e8*float64(time.Second)), time.Duration(1e8*float64(time.Second)))
+	if !huge.Done() {
+		t.Fatalf("huge transfer with residue 1e5 « total×1e-9 not completed (remaining %v)", huge.Remaining())
+	}
+	if huge.Remaining() != 0 {
+		t.Fatalf("completed transfer Remaining = %v, want 0", huge.Remaining())
+	}
+}
+
+// TestTransferZeroRateStall: a transfer on a blacked-out link receives
+// zero allocation every step and must neither complete nor lose bytes, no
+// matter how many steps pass.
+func TestTransferZeroRateStall(t *testing.T) {
+	n := New(twoSite(t))
+	n.SetLinkFault(0, 1, 0)
+	tr := n.StartTransfer(0, 1, 5e6)
+	for i := 1; i <= 10; i++ {
+		step(n, vclock.Time(time.Duration(i)*time.Second))
+	}
+	if tr.Done() {
+		t.Fatal("stalled transfer completed with zero allocation")
+	}
+	if tr.Remaining() != 5e6 {
+		t.Fatalf("stalled transfer lost bytes: remaining %v, want 5e6", tr.Remaining())
+	}
+	n.ClearLinkFault(0, 1)
+	step(n, vclock.Time(11*time.Second))
+	if tr.Remaining() >= 5e6 {
+		t.Fatalf("healed transfer made no progress: remaining %v", tr.Remaining())
 	}
 }

@@ -4,9 +4,14 @@
 // capacity from the topology, optionally modulated over virtual time by
 // bandwidth-variation traces (global and/or per link). Stream flows and
 // bulk state-migration transfers attached to a link share its capacity by
-// max-min fairness, recomputed every simulation step. This reproduces the
-// contention, bandwidth dynamics, and migration behaviour the paper's
-// emulated testbed exhibits (§8.2).
+// max-min fairness. The allocation is incremental: each link's fair share
+// is a pure function of (capacity, claimant demands, claimant order), so
+// Step re-solves only the links where one of those inputs changed since
+// the previous step — demand edits, claimant arrivals/departures, faults,
+// trace-driven capacity movement — tracked sparsely so a step over an idle
+// 10k-link mesh touches nothing. This reproduces the contention, bandwidth
+// dynamics, and migration behaviour the paper's emulated testbed exhibits
+// (§8.2) at a per-step cost proportional to change, not to network size.
 package netsim
 
 import (
@@ -15,7 +20,6 @@ import (
 	"slices"
 	"time"
 
-	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/obs"
 	"github.com/wasp-stream/wasp/internal/topology"
 	"github.com/wasp-stream/wasp/internal/trace"
@@ -26,6 +30,26 @@ type linkKey struct {
 	from, to topology.SiteID
 }
 
+// linkState is the dense per-link record: its claimants in fair-share
+// order (flows ascending by registration id, then transfers ascending by
+// id — the tie-break order the allocation is deterministic under) and the
+// dirty flag that schedules a re-solve.
+type linkState struct {
+	id        int
+	key       linkKey
+	flows     []*Flow
+	transfers []*Transfer
+	// dirty marks that an allocation input changed since the last solve;
+	// the link sits in Network.dirtyIDs exactly when set.
+	dirty bool
+	// traced marks a per-link bandwidth trace: capacity can move between
+	// steps without any event, so the link re-solves whenever it has
+	// claimants.
+	traced bool
+}
+
+func (l *linkState) claimantCount() int { return len(l.flows) + len(l.transfers) }
+
 // Flow is a persistent data stream between two sites. Its demand is set by
 // the engine each step; Allocated reports the rate granted by the link's
 // fair-share allocation at the most recent Step.
@@ -35,12 +59,22 @@ type Flow struct {
 	demand    float64 // bytes/s requested
 	allocated float64 // bytes/s granted at last Step
 	removed   bool
+	net       *Network
+	link      *linkState
 }
 
 // SetDemand sets the flow's requested rate in bytes/s. Negative demand is
-// treated as zero.
+// treated as zero. Setting the demand the flow already has is free: the
+// link is only re-solved when an allocation input actually changed.
 func (f *Flow) SetDemand(bytesPerSec float64) {
-	f.demand = math.Max(bytesPerSec, 0)
+	bytesPerSec = math.Max(bytesPerSec, 0)
+	if bytesPerSec == f.demand {
+		return
+	}
+	f.demand = bytesPerSec
+	if f.link != nil && !f.removed {
+		f.net.markDirty(f.link)
+	}
 }
 
 // Demand returns the currently requested rate in bytes/s.
@@ -60,6 +94,7 @@ type Transfer struct {
 	canceled  bool
 	doneAt    vclock.Time
 	allocated float64 // bytes/s granted at last Step
+	link      *linkState
 }
 
 // Done reports whether the transfer has completed.
@@ -91,6 +126,32 @@ type Network struct {
 	transfers    map[int]*Transfer
 	nextID       int
 
+	// Dense link registry. linkIdx is consulted only on cold paths
+	// (flow/transfer attach, fault injection); the hot path works off the
+	// dense slice and the sparse dirty list.
+	links   []*linkState
+	linkIdx map[linkKey]int
+	// dirtyIDs lists the links whose allocation inputs changed since the
+	// last Step (each appears once; linkState.dirty is the guard bit).
+	dirtyIDs []int
+	// transferList holds the in-flight transfers ascending by id — the
+	// deterministic progression order — without re-sorting map keys.
+	transferList []*Transfer
+	// activeSorted caches the links with at least one claimant, sorted by
+	// (from, to), for telemetry's deterministic float accumulation. Rebuilt
+	// only when link membership changes.
+	activeSorted []*linkState
+	activeDirty  bool
+	// globalLast detects global-factor trace movement: when the factor
+	// value at a step differs from the previous step's, every link's
+	// capacity changed and all active links re-solve.
+	globalLast float64
+	globalInit bool
+
+	// latencyGen counts link-latency changes (fault set/clear); consumers
+	// caching Latency() results re-sample when it moves.
+	latencyGen uint64
+
 	// Optional telemetry (nil = zero overhead). Instrument handles are
 	// cached because Step runs every simulation tick.
 	obs          *obs.Observer
@@ -100,23 +161,16 @@ type Network struct {
 	telFlows     *obs.Gauge
 	telTransfers *obs.Gauge
 
-	// sc is Step's retained scratch: the per-link claimant lists, sorted
-	// ID/key slices, and fair-share work vectors are reused across Steps
-	// so the steady-state step is allocation-free.
+	// sc is Step's retained scratch: claimant and fair-share work vectors
+	// reused across Steps so the steady-state step is allocation-free.
 	sc stepScratch
 }
 
-// stepScratch holds Step's reusable buffers. byLink keeps its keys across
-// Steps (each list is reset to length zero, not deleted); links whose
-// traffic vanished contribute empty claimant lists, which every consumer
-// skips, so stale keys cannot affect allocations or telemetry sums.
+// stepScratch holds Step's reusable buffers.
 type stepScratch struct {
-	byLink      map[linkKey][]claimant
-	flowIDs     []int
-	transferIDs []int
-	linkKeys    []linkKey
-	alloc       []float64
-	idx         []int
+	claimants []claimant
+	alloc     []float64
+	idx       []int
 }
 
 // New creates a Network over the given topology with no dynamics (factor 1
@@ -129,11 +183,34 @@ func New(top *topology.Topology) *Network {
 		linkFaults:   make(map[linkKey]float64),
 		flows:        make(map[int]*Flow),
 		transfers:    make(map[int]*Transfer),
+		linkIdx:      make(map[linkKey]int),
 	}
 }
 
 // Topology returns the underlying topology.
 func (n *Network) Topology() *topology.Topology { return n.top }
+
+// link returns the dense link state for a site pair, creating it on first
+// use (cold path: attach, fault, trace installation).
+func (n *Network) link(from, to topology.SiteID) *linkState {
+	k := linkKey{from, to}
+	if i, ok := n.linkIdx[k]; ok {
+		return n.links[i]
+	}
+	l := &linkState{id: len(n.links), key: k}
+	n.linkIdx[k] = l.id
+	n.links = append(n.links, l)
+	return l
+}
+
+// markDirty schedules a link for re-solving at the next Step.
+func (n *Network) markDirty(l *linkState) {
+	if l.dirty {
+		return
+	}
+	l.dirty = true
+	n.dirtyIDs = append(n.dirtyIDs, l.id)
+}
 
 // SetObserver wires WAN telemetry (bytes moved, queueing backlog, link
 // utilization, active flow/transfer counts) to an observer. A nil
@@ -165,12 +242,16 @@ func (n *Network) SetGlobalFactor(tr *trace.Trace) {
 		tr = trace.Constant(1)
 	}
 	n.globalFactor = tr
+	n.globalInit = false // force a full re-solve at the next Step
 }
 
 // SetLinkFactor installs a per-link factor trace for from→to, multiplied
 // with the global factor.
 func (n *Network) SetLinkFactor(from, to topology.SiteID, tr *trace.Trace) {
 	n.linkFactors[linkKey{from, to}] = tr
+	l := n.link(from, to)
+	l.traced = tr != nil
+	n.markDirty(l)
 }
 
 // SetLinkFault applies an injected fault factor to the from→to link,
@@ -183,6 +264,8 @@ func (n *Network) SetLinkFault(from, to topology.SiteID, factor float64) {
 		return
 	}
 	n.linkFaults[linkKey{from, to}] = math.Max(factor, 0)
+	n.markDirty(n.link(from, to))
+	n.latencyGen++
 	if n.obs != nil {
 		n.obs.Emit("fault.link",
 			obs.Int("from", int(from)), obs.Int("to", int(to)),
@@ -196,6 +279,8 @@ func (n *Network) ClearLinkFault(from, to topology.SiteID) {
 		return
 	}
 	delete(n.linkFaults, linkKey{from, to})
+	n.markDirty(n.link(from, to))
+	n.latencyGen++
 	if n.obs != nil {
 		n.obs.Emit("fault.link_healed",
 			obs.Int("from", int(from)), obs.Int("to", int(to)))
@@ -224,17 +309,38 @@ func (n *Network) CapacityMbps(from, to topology.SiteID, now vclock.Time) topolo
 	return topology.Mbps(n.Capacity(from, to, now) * 8 / 1e6)
 }
 
-// Latency returns the one-way from→to latency.
+// Latency returns the one-way from→to latency. An injected link fault
+// degrades propagation along with capacity: a factor f in (0,1) inflates
+// the base latency by 1/f (congestion and retransmission on the degraded
+// path), and healing restores the base value. A blackout (f == 0) keeps
+// the base latency — capacity zero already stops all delivery, and an
+// infinite latency would poison consumers that precompute delivery
+// offsets for when the link heals.
 func (n *Network) Latency(from, to topology.SiteID) time.Duration {
-	return n.top.Latency(from, to)
+	base := n.top.Latency(from, to)
+	if ff, ok := n.linkFaults[linkKey{from, to}]; ok && ff > 0 && ff < 1 {
+		return time.Duration(float64(base) / ff)
+	}
+	return base
 }
+
+// LatencyGen returns a counter that advances whenever a link's effective
+// latency may have changed (fault injected or healed). Consumers caching
+// Latency() results refresh when the value moves.
+func (n *Network) LatencyGen() uint64 { return n.latencyGen }
 
 // AddFlow registers a persistent flow on the from→to link with zero
 // initial demand.
 func (n *Network) AddFlow(from, to topology.SiteID) *Flow {
-	f := &Flow{id: n.nextID, From: from, To: to}
+	l := n.link(from, to)
+	f := &Flow{id: n.nextID, From: from, To: to, net: n, link: l}
 	n.nextID++
 	n.flows[f.id] = f
+	// Registration ids are monotonic, so appending keeps the claimant
+	// list in ascending-id (fair-share tie-break) order.
+	l.flows = append(l.flows, f)
+	n.markDirty(l)
+	n.activeDirty = true
 	return f
 }
 
@@ -246,20 +352,33 @@ func (n *Network) RemoveFlow(f *Flow) {
 	f.removed = true
 	f.allocated = 0
 	delete(n.flows, f.id)
+	if l := f.link; l != nil {
+		if i := slices.Index(l.flows, f); i >= 0 {
+			l.flows = append(l.flows[:i], l.flows[i+1:]...)
+		}
+		n.markDirty(l)
+		n.activeDirty = true
+	}
 }
 
 // StartTransfer begins a bulk transfer of the given number of bytes on the
 // from→to link. A non-positive size completes immediately at the next Step.
 func (n *Network) StartTransfer(from, to topology.SiteID, bytes float64) *Transfer {
+	l := n.link(from, to)
 	t := &Transfer{
 		id:        n.nextID,
 		From:      from,
 		To:        to,
 		total:     math.Max(bytes, 0),
 		remaining: math.Max(bytes, 0),
+		link:      l,
 	}
 	n.nextID++
 	n.transfers[t.id] = t
+	l.transfers = append(l.transfers, t)
+	n.transferList = append(n.transferList, t)
+	n.markDirty(l)
+	n.activeDirty = true
 	return t
 }
 
@@ -274,12 +393,29 @@ func (n *Network) CancelTransfer(t *Transfer) {
 	}
 	t.canceled = true
 	t.allocated = 0
-	delete(n.transfers, t.id)
+	n.detachTransfer(t)
 	if n.obs != nil {
 		n.obs.Emit("transfer.canceled",
 			obs.Int("from", int(t.From)), obs.Int("to", int(t.To)),
 			obs.F64("remaining_bytes", t.remaining))
 	}
+}
+
+// detachTransfer removes a transfer from the network's books (completion
+// or cancellation): the id map, its link's claimant list, and the global
+// progression list.
+func (n *Network) detachTransfer(t *Transfer) {
+	delete(n.transfers, t.id)
+	if l := t.link; l != nil {
+		if i := slices.Index(l.transfers, t); i >= 0 {
+			l.transfers = append(l.transfers[:i], l.transfers[i+1:]...)
+		}
+		n.markDirty(l)
+	}
+	if i := slices.Index(n.transferList, t); i >= 0 {
+		n.transferList = append(n.transferList[:i], n.transferList[i+1:]...)
+	}
+	n.activeDirty = true
 }
 
 // ActiveTransfers reports the number of in-flight bulk transfers still
@@ -309,10 +445,18 @@ type claimant struct {
 }
 
 // Step advances the network by dt ending at virtual time `now`: it
-// recomputes every link's max-min fair allocation over its flows and
-// transfers (using the capacity at the *start* of the interval) and
-// progresses transfers. Completed transfers are removed and stamped with
-// their completion time.
+// recomputes the max-min fair allocation (using the capacity at the
+// *start* of the interval) of every link whose allocation inputs changed,
+// and progresses transfers. Completed transfers are removed and stamped
+// with their completion time.
+//
+// A link is re-solved when: a flow's demand changed (SetDemand compares),
+// a claimant arrived or departed, a fault was set or cleared, the link
+// carries a transfer (its demand falls as it progresses), it has a
+// per-link bandwidth trace, or the global bandwidth factor moved (all
+// active links). Skipping the rest is exact, not approximate: the
+// allocation is a pure function of capacity, demands, and claimant order,
+// so unchanged inputs reproduce the stored outputs bit-for-bit.
 func (n *Network) Step(now vclock.Time, dt time.Duration) {
 	if dt <= 0 {
 		panic(fmt.Sprintf("netsim: non-positive step %v", dt))
@@ -320,87 +464,145 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 	start := now - vclock.Time(dt)
 	dtSec := dt.Seconds()
 
-	// Claimants are gathered in ascending-ID order so that fair-share
-	// tie-breaking (and therefore the whole simulation) is deterministic.
-	// All per-step slices come from the retained scratch (see stepScratch).
-	if n.sc.byLink == nil {
-		n.sc.byLink = make(map[linkKey][]claimant)
-	}
-	byLink := n.sc.byLink
-	for k := range byLink {
-		byLink[k] = byLink[k][:0] // per-key reset; no cross-key effect
-	}
-	n.sc.flowIDs = detutil.SortedKeysInto(n.flows, n.sc.flowIDs[:0])
-	for _, id := range n.sc.flowIDs {
-		f := n.flows[id]
-		byLink[linkKey{f.From, f.To}] = append(byLink[linkKey{f.From, f.To}], claimant{demand: f.demand, flow: f})
-	}
-	n.sc.transferIDs = detutil.SortedKeysInto(n.transfers, n.sc.transferIDs[:0])
-	transferIDs := n.sc.transferIDs
-	for _, id := range transferIDs {
-		t := n.transfers[id]
-		// A transfer wants to finish within this step if it can.
-		byLink[linkKey{t.From, t.To}] = append(byLink[linkKey{t.From, t.To}],
-			claimant{demand: t.remaining / dtSec, transfer: t})
-	}
-
-	for key, cs := range byLink {
-		if len(cs) == 0 {
-			continue // stale scratch entry: the link has no traffic this step
-		}
-		capacity := n.Capacity(key.from, key.to, start)
-		alloc := n.fairShareInto(capacity, cs)
-		for i, c := range cs {
-			if c.flow != nil {
-				c.flow.allocated = alloc[i]
-			} else {
-				c.transfer.allocated = alloc[i]
+	// Capacity-driven invalidation. The global factor applies to every
+	// link; per-link traces can move a single link's capacity between any
+	// two steps, so traced links with claimants always re-solve.
+	g := n.globalFactor.At(start)
+	if !n.globalInit || g != n.globalLast {
+		n.globalInit = true
+		n.globalLast = g
+		for _, l := range n.links {
+			if l.claimantCount() > 0 {
+				n.markDirty(l)
 			}
 		}
 	}
-	if n.obs != nil {
-		n.recordStepTelemetry(byLink, start, dtSec)
+	for _, l := range n.links {
+		if l.traced && l.claimantCount() > 0 {
+			n.markDirty(l)
+		}
+	}
+	// Transfers demand remaining/dt: the demand changes as they progress
+	// (and whenever dt changes), so their links re-solve every step.
+	for _, t := range n.transferList {
+		n.markDirty(t.link)
 	}
 
-	for _, id := range transferIDs {
-		t := n.transfers[id]
+	for _, id := range n.dirtyIDs {
+		n.solveLink(n.links[id], start, dtSec)
+	}
+	n.dirtyIDs = n.dirtyIDs[:0]
+
+	if n.obs != nil {
+		n.recordStepTelemetry(start, dtSec)
+	}
+
+	// Progress transfers ascending by id (deterministic completion order).
+	// Completed ones are detached in place.
+	live := n.transferList[:0]
+	for _, t := range n.transferList {
 		moved := t.allocated * dtSec
 		t.remaining -= moved
-		if t.remaining <= 1e-6 {
+		// Completion epsilon is relative to the payload: float error
+		// accumulated over many partial grants scales with the transfer
+		// size, while a fresh (or stalled) transfer must never be deemed
+		// complete by an absolute threshold it is already under.
+		if t.remaining <= t.total*transferEps {
 			t.remaining = 0
 			t.done = true
 			t.doneAt = now
 			t.allocated = 0
-			delete(n.transfers, id)
+			delete(n.transfers, t.id)
+			if l := t.link; l != nil {
+				if i := slices.Index(l.transfers, t); i >= 0 {
+					l.transfers = append(l.transfers[:i], l.transfers[i+1:]...)
+				}
+				n.markDirty(l)
+			}
+			n.activeDirty = true
+			continue
+		}
+		live = append(live, t)
+	}
+	n.transferList = live
+}
+
+// transferEps is the relative completion epsilon: a transfer is complete
+// when its remaining bytes fall under total×transferEps. Relative, not
+// absolute: multi-GB state migrations accumulate float error proportional
+// to their size, while a tiny transfer must actually move its payload
+// (an absolute 1e-6 cut-off would complete a sub-microbyte transfer that
+// never received a single allocation grant).
+const transferEps = 1e-9
+
+// solveLink recomputes one link's fair-share allocation. Claimants are
+// gathered flows-first then transfers, each ascending by registration id —
+// the deterministic tie-break order.
+func (n *Network) solveLink(l *linkState, start vclock.Time, dtSec float64) {
+	l.dirty = false
+	if l.claimantCount() == 0 {
+		return
+	}
+	cs := n.sc.claimants[:0]
+	for _, f := range l.flows {
+		cs = append(cs, claimant{demand: f.demand, flow: f})
+	}
+	for _, t := range l.transfers {
+		// A transfer wants to finish within this step if it can.
+		cs = append(cs, claimant{demand: t.remaining / dtSec, transfer: t})
+	}
+	n.sc.claimants = cs
+	capacity := n.Capacity(l.key.from, l.key.to, start)
+	alloc := n.fairShareInto(capacity, cs)
+	for i, c := range cs {
+		if c.flow != nil {
+			c.flow.allocated = alloc[i]
+		} else {
+			c.transfer.allocated = alloc[i]
 		}
 	}
+}
+
+// activeLinks returns the links with at least one claimant, sorted by
+// (from, to). The slice is cached and rebuilt only after membership
+// changes; telemetry iterates it so float accumulation is replay-stable.
+func (n *Network) activeLinks() []*linkState {
+	if n.activeDirty {
+		n.activeDirty = false
+		n.activeSorted = n.activeSorted[:0]
+		for _, l := range n.links {
+			if l.claimantCount() > 0 {
+				n.activeSorted = append(n.activeSorted, l)
+			}
+		}
+		slices.SortFunc(n.activeSorted, func(a, b *linkState) int {
+			if a.key.from != b.key.from {
+				return int(a.key.from) - int(b.key.from)
+			}
+			return int(a.key.to) - int(b.key.to)
+		})
+	}
+	return n.activeSorted
 }
 
 // recordStepTelemetry folds one Step's allocations into the registry.
 // Links are visited in sorted order so float accumulation is identical
 // across same-seed runs (map order must not leak into exports).
-func (n *Network) recordStepTelemetry(byLink map[linkKey][]claimant, start vclock.Time, dtSec float64) {
-	n.sc.linkKeys = detutil.SortedKeysFuncInto(byLink, n.sc.linkKeys[:0], func(a, b linkKey) bool {
-		if a.from != b.from {
-			return a.from < b.from
-		}
-		return a.to < b.to
-	})
-	keys := n.sc.linkKeys
+func (n *Network) recordStepTelemetry(start vclock.Time, dtSec float64) {
 	var granted, unmet float64
-	for _, k := range keys {
-		capacity := n.Capacity(k.from, k.to, start)
+	for _, l := range n.activeLinks() {
+		capacity := n.Capacity(l.key.from, l.key.to, start)
 		var linkGranted float64
-		for _, c := range byLink[k] {
-			var a float64
-			if c.flow != nil {
-				a = c.flow.allocated
-			} else {
-				a = c.transfer.allocated
+		for _, f := range l.flows {
+			linkGranted += f.allocated
+			if f.demand > f.allocated {
+				unmet += (f.demand - f.allocated) * dtSec
 			}
-			linkGranted += a
-			if c.demand > a {
-				unmet += (c.demand - a) * dtSec
+		}
+		for _, t := range l.transfers {
+			linkGranted += t.allocated
+			if d := t.remaining / dtSec; d > t.allocated {
+				unmet += (d - t.allocated) * dtSec
 			}
 		}
 		granted += linkGranted * dtSec

@@ -8,6 +8,7 @@ package physical
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
 	"github.com/wasp-stream/wasp/internal/placement"
@@ -144,18 +145,28 @@ func (p *Plan) Clone() *Plan {
 // weighting each site by its share of the stage's tasks (even event
 // partitioning, §7).
 func (s *Stage) Endpoints() []placement.Endpoint {
-	if len(s.Sites) == 0 {
-		return nil
-	}
-	perSite := make(map[topology.SiteID]int)
-	for _, site := range s.Sites {
-		perSite[site]++
-	}
-	sites := detutil.SortedKeys(perSite)
-	out := make([]placement.Endpoint, 0, len(sites))
-	total := float64(len(s.Sites))
-	for _, site := range sites {
-		out = append(out, placement.Endpoint{Site: site, Weight: float64(perSite[site]) / total})
-	}
+	out, _ := s.AppendEndpoints(nil, nil)
 	return out
+}
+
+// AppendEndpoints is Endpoints with caller-provided scratch: endpoints are
+// appended to dst and the site-sorting buffer is grown from tmp. Both are
+// returned for reuse. The planner calls this per stage pair per variant
+// per round; the scratch keeps it allocation-free at steady state.
+func (s *Stage) AppendEndpoints(dst []placement.Endpoint, tmp []topology.SiteID) ([]placement.Endpoint, []topology.SiteID) {
+	if len(s.Sites) == 0 {
+		return dst, tmp
+	}
+	tmp = append(tmp[:0], s.Sites...)
+	slices.Sort(tmp)
+	total := float64(len(tmp))
+	for i := 0; i < len(tmp); {
+		j := i
+		for j < len(tmp) && tmp[j] == tmp[i] {
+			j++
+		}
+		dst = append(dst, placement.Endpoint{Site: tmp[i], Weight: float64(j-i) / total})
+		i = j
+	}
+	return dst, tmp
 }

@@ -1,9 +1,10 @@
 package physical
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/wasp-stream/wasp/internal/placement"
 	"github.com/wasp-stream/wasp/internal/plan"
@@ -73,53 +74,103 @@ func ReplanQuery(base *plan.Graph, spec *plan.CombineSpec, current *plan.Variant
 }
 
 func planQuery(base *plan.Graph, spec *plan.CombineSpec, top *topology.Topology, cfg PlannerConfig, admit func(*plan.Variant) bool) (*Candidate, []Candidate, error) {
-	maxVariants := cfg.MaxVariants
+	s, err := NewSession(base, spec, cfg.MaxVariants)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Plan(top, cfg, admit)
+}
+
+// Session caches everything about one query's plan search space that does
+// not change between planning rounds: the enumerated combine trees, each
+// tree's expanded logical variant, and each variant's physical plan
+// skeleton (built and validated once). Per round only the placements and
+// cost estimates are recomputed — the controller re-plans against live
+// bandwidth and workload dozens of times per run, and re-expanding ~10^2
+// variant graphs each round dominated its allocation profile.
+//
+// The cached plans are REUSED across Plan calls: Schedule overwrites
+// their stage placements in place each round. A caller that adopts a
+// candidate's Plan beyond the current round (e.g. deploying it to the
+// engine) must Clone it first, or the next round's Schedule will mutate
+// the adopted plan under the engine's feet.
+type Session struct {
+	entries []sessionEntry
+	cands   []Candidate // reused result buffer, re-sliced per Plan call
+	ws      Workspace   // scratch shared by every Plan call's scheduling
+}
+
+// sessionEntry is one cached (variant, plan skeleton) pair.
+type sessionEntry struct {
+	variant *plan.Variant
+	plan    *Plan
+}
+
+// NewSession expands the query's combine-order search space once. The
+// base graph should already be logically optimized (PushDownFilters).
+// maxVariants of 0 means DefaultMaxVariants.
+func NewSession(base *plan.Graph, spec *plan.CombineSpec, maxVariants int) (*Session, error) {
 	if maxVariants == 0 {
 		maxVariants = DefaultMaxVariants
 	}
+	trees := plan.EnumerateTrees(len(spec.Inputs), maxVariants)
+	s := &Session{entries: make([]sessionEntry, 0, len(trees))}
+	for _, tree := range trees {
+		v, err := spec.Expand(base, tree)
+		if err != nil {
+			return nil, fmt.Errorf("expand %v: %w", tree, err)
+		}
+		p, err := FromLogical(v.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("variant %v: %w", tree, err)
+		}
+		s.entries = append(s.entries, sessionEntry{variant: v, plan: p})
+	}
+	return s, nil
+}
+
+// Plan runs one planning round over the cached variants: schedule each
+// admissible variant against the current topology/bandwidth, estimate its
+// cost, and rank. The returned candidates (and their Plans) are owned by
+// the session and valid until the next Plan call; Clone any plan that
+// outlives the round.
+func (s *Session) Plan(top *topology.Topology, cfg PlannerConfig, admit func(*plan.Variant) bool) (*Candidate, []Candidate, error) {
 	wanWeight := cfg.WANWeight
 	if wanWeight == 0 {
 		wanWeight = DefaultWANWeight
 	}
-
-	k := len(spec.Inputs)
-	trees := plan.EnumerateTrees(k, maxVariants)
-
-	var candidates []Candidate
-	for _, tree := range trees {
-		v, err := spec.Expand(base, tree)
-		if err != nil {
-			return nil, nil, fmt.Errorf("expand %v: %w", tree, err)
-		}
-		if admit != nil && !admit(v) {
+	sc := cfg.ScheduleConfig
+	if sc.Workspace == nil {
+		sc.Workspace = &s.ws
+	}
+	candidates := s.cands[:0]
+	for _, e := range s.entries {
+		if admit != nil && !admit(e.variant) {
 			continue
 		}
-		p, err := FromLogical(v.Graph)
-		if err != nil {
-			return nil, nil, fmt.Errorf("variant %v: %w", tree, err)
-		}
-		if err := Schedule(p, top, cfg.ScheduleConfig); err != nil {
+		if err := Schedule(e.plan, top, sc); err != nil {
 			if errors.Is(err, placement.ErrInfeasible) {
 				continue // variant not schedulable under current bandwidth
 			}
 			return nil, nil, err
 		}
-		delayVol, wan, err := EstimateCost(p, top, cfg.RateFactor)
+		delayVol, wan, err := estimateCost(e.plan, top, cfg.RateFactor, sc.Workspace)
 		if err != nil {
 			return nil, nil, err
 		}
 		candidates = append(candidates, Candidate{
-			Variant:        v,
-			Plan:           p,
+			Variant:        e.variant,
+			Plan:           e.plan,
 			DelayVolume:    delayVol,
 			WANBytesPerSec: wan,
 			Cost:           delayVol + wanWeight*wan,
 		})
 	}
+	s.cands = candidates
 	if len(candidates) == 0 {
 		return nil, nil, ErrNoCandidate
 	}
-	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Cost < candidates[j].Cost })
+	slices.SortStableFunc(candidates, func(a, b Candidate) int { return cmp.Compare(a.Cost, b.Cost) })
 	best := candidates[0]
 	return &best, candidates, nil
 }
@@ -128,19 +179,25 @@ func planQuery(base *plan.Graph, spec *plan.CombineSpec, top *topology.Topology,
 // flow × link latency, in seconds·bytes/s) and total WAN consumption
 // (bytes/s) under even event partitioning.
 func EstimateCost(p *Plan, top *topology.Topology, rateFactor float64) (delayVolume, wanBytesPerSec float64, err error) {
+	return estimateCost(p, top, rateFactor, &Workspace{})
+}
+
+// estimateCost is EstimateCost with caller-owned scratch.
+func estimateCost(p *Plan, top *topology.Topology, rateFactor float64, ws *Workspace) (delayVolume, wanBytesPerSec float64, err error) {
 	if rateFactor == 0 {
 		rateFactor = 1
 	}
-	_, _, outBytes, err := p.Graph.ExpectedRates(rateFactor)
-	if err != nil {
+	if err := p.Graph.ExpectedRatesBuf(rateFactor, &ws.rates); err != nil {
 		return 0, 0, err
 	}
+	outBytes := ws.rates.Bytes
 	for _, from := range p.Graph.OperatorIDs() {
-		fromEPs := p.Stages[from].Endpoints()
-		for _, to := range p.Graph.Downstream(from) {
-			toEPs := p.Stages[to].Endpoints()
+		ws.fromEPs, ws.tmp = p.Stages[from].AppendEndpoints(ws.fromEPs[:0], ws.tmp)
+		fromEPs := ws.fromEPs
+		for _, to := range p.Graph.DownstreamView(from) {
+			ws.toEPs, ws.tmp = p.Stages[to].AppendEndpoints(ws.toEPs[:0], ws.tmp)
 			for _, fe := range fromEPs {
-				for _, te := range toEPs {
+				for _, te := range ws.toEPs {
 					flow := outBytes[from] * fe.Weight * te.Weight
 					if fe.Site == te.Site || flow == 0 {
 						continue

@@ -2,7 +2,6 @@ package physical
 
 import (
 	"fmt"
-	"time"
 
 	"github.com/wasp-stream/wasp/internal/placement"
 	"github.com/wasp-stream/wasp/internal/plan"
@@ -27,6 +26,10 @@ type ScheduleConfig struct {
 	// constraints (each link must fit a site's whole stream share); see
 	// placement.Problem.Conservative.
 	Conservative bool
+	// Workspace, when non-nil, supplies reusable scratch buffers for the
+	// scheduler's per-stage placement programs. Nil means
+	// allocate-per-call.
+	Workspace *Workspace
 }
 
 func (cfg *ScheduleConfig) withDefaults(top *topology.Topology) ScheduleConfig {
@@ -65,19 +68,25 @@ func (cfg *ScheduleConfig) parallelismFor(op *plan.Operator) int {
 // (wrapping placement.ErrInfeasible) if any stage cannot be placed.
 func Schedule(p *Plan, top *topology.Topology, cfg ScheduleConfig) error {
 	c := cfg.withDefaults(top)
+	ws := c.Workspace
+	if ws == nil {
+		ws = &Workspace{}
+		c.Workspace = ws
+	}
 	order, err := p.StageIDs()
 	if err != nil {
 		return err
 	}
-	_, _, outBytes, err := p.Graph.ExpectedRates(c.RateFactor)
-	if err != nil {
+	if err := p.Graph.ExpectedRatesBuf(c.RateFactor, &ws.rates); err != nil {
 		return err
 	}
+	outBytes := ws.rates.Bytes
 
-	avail := make([]int, top.N())
-	for s := range avail {
-		avail[s] = top.Slots(topology.SiteID(s))
+	avail := ws.avail[:0]
+	for s := 0; s < top.N(); s++ {
+		avail = append(avail, top.Slots(topology.SiteID(s)))
 	}
+	ws.avail = avail
 	// Reserve the slots pinned stages will need, so that free stages
 	// scheduled earlier in topological order cannot exhaust them.
 	for _, id := range order {
@@ -100,7 +109,7 @@ func Schedule(p *Plan, top *topology.Topology, cfg ScheduleConfig) error {
 		if err != nil {
 			return fmt.Errorf("schedule stage %q: %w", st.Op.Name, err)
 		}
-		st.Sites = expandPlacement(pl)
+		st.Sites = appendPlacement(st.Sites[:0], pl)
 		for s, n := range pl.TasksPerSite {
 			avail[s] -= n
 		}
@@ -120,22 +129,25 @@ func solveStage(
 	avail []int,
 	top *topology.Topology,
 	cfg ScheduleConfig,
-	outBytes map[plan.OpID]float64,
+	outBytes []float64,
 	outputBytes float64,
 	downstreamOverride []placement.Endpoint,
 ) (*placement.Placement, error) {
 	st := p.Stages[id]
+	ws := cfg.Workspace
 
-	var ups []placement.Endpoint
+	ups := ws.ups[:0]
 	var inBytes float64
-	for _, u := range p.Graph.Upstream(id) {
+	for _, u := range p.Graph.UpstreamView(id) {
 		uStage := p.Stages[u]
 		share := outBytes[u]
 		inBytes += share
-		for _, ep := range uStage.Endpoints() {
+		ws.eps, ws.tmp = uStage.AppendEndpoints(ws.eps[:0], ws.tmp)
+		for _, ep := range ws.eps {
 			ups = append(ups, placement.Endpoint{Site: ep.Site, Weight: ep.Weight * share})
 		}
 	}
+	ws.ups = ups
 	// Normalize upstream weights to fractions of the stage input.
 	if inBytes > 0 {
 		for i := range ups {
@@ -150,7 +162,7 @@ func solveStage(
 		pinned = st.Op.PinnedSite
 	}
 
-	pr := &placement.Problem{
+	ws.pr = placement.Problem{
 		Sites:             top.N(),
 		Parallelism:       parallelism,
 		AvailableSlots:    avail,
@@ -159,26 +171,23 @@ func solveStage(
 		InputBytesPerSec:  inBytes,
 		OutputBytesPerSec: outputBytes,
 		Alpha:             cfg.Alpha,
-		Latency: func(from, to topology.SiteID) time.Duration {
-			return top.Latency(from, to)
-		},
-		Bandwidth:    cfg.Bandwidth,
-		Conservative: cfg.Conservative,
-		Pinned:       pinned,
+		Latency:           ws.latencyFn(top),
+		Bandwidth:         cfg.Bandwidth,
+		Conservative:      cfg.Conservative,
+		Pinned:            pinned,
 	}
-	return placement.Solve(pr)
+	return ws.pr.SolveInto(&ws.sol)
 }
 
-// expandPlacement converts p[s] counts into a site list, ascending by
-// site, deterministic.
-func expandPlacement(pl *placement.Placement) []topology.SiteID {
-	var sites []topology.SiteID
+// appendPlacement converts p[s] counts into a site list appended to dst,
+// ascending by site, deterministic.
+func appendPlacement(dst []topology.SiteID, pl *placement.Placement) []topology.SiteID {
 	for s, n := range pl.TasksPerSite {
 		for i := 0; i < n; i++ {
-			sites = append(sites, topology.SiteID(s))
+			dst = append(dst, topology.SiteID(s))
 		}
 	}
-	return sites
+	return dst
 }
 
 // ReassignStage re-solves the placement of a single already-running stage
@@ -193,10 +202,15 @@ func ReassignStage(
 	freeSlots []int,
 ) (*placement.Placement, error) {
 	c := cfg.withDefaults(top)
-	_, _, outBytes, err := p.Graph.ExpectedRates(c.RateFactor)
-	if err != nil {
+	ws := c.Workspace
+	if ws == nil {
+		ws = &Workspace{}
+		c.Workspace = ws
+	}
+	if err := p.Graph.ExpectedRatesBuf(c.RateFactor, &ws.rates); err != nil {
 		return nil, err
 	}
+	outBytes := ws.rates.Bytes
 	st := p.Stages[id]
 
 	// Downstream endpoints weighted by each consumer's share of this
@@ -204,16 +218,18 @@ func ReassignStage(
 	// output stream, so the stage's total outbound rate is
 	// outBytes × #consumers and each consumer endpoint carries its task
 	// distribution's fraction of one stream.
-	var downs []placement.Endpoint
-	consumers := p.Graph.Downstream(id)
+	downs := ws.toEPs[:0]
+	consumers := p.Graph.DownstreamView(id)
 	for _, d := range consumers {
-		for _, ep := range p.Stages[d].Endpoints() {
+		ws.eps, ws.tmp = p.Stages[d].AppendEndpoints(ws.eps[:0], ws.tmp)
+		for _, ep := range ws.eps {
 			downs = append(downs, placement.Endpoint{
 				Site:   ep.Site,
 				Weight: ep.Weight / float64(len(consumers)),
 			})
 		}
 	}
+	ws.toEPs = downs
 	outputBytes := outBytes[id] * float64(len(consumers))
 
 	return solveStage(p, id, st.Parallelism(), freeSlots, top, c, outBytes, outputBytes, downs)

@@ -1,0 +1,44 @@
+package physical
+
+import (
+	"time"
+
+	"github.com/wasp-stream/wasp/internal/placement"
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// Workspace holds reusable scratch buffers for repeated Schedule,
+// ReassignStage and cost-estimation calls. The controller schedules ~10^2
+// plan variants per re-planning round, every round of the run; without
+// buffer reuse the per-stage endpoint lists, rate buffers and placement
+// programs dominated the steady-state allocation profile.
+//
+// The zero value is ready to use. A Workspace is NOT safe for concurrent
+// use; parallel experiment jobs must each use their own (or leave
+// ScheduleConfig.Workspace nil for allocate-per-call behaviour).
+type Workspace struct {
+	avail   []int
+	ups     []placement.Endpoint
+	eps     []placement.Endpoint
+	fromEPs []placement.Endpoint
+	toEPs   []placement.Endpoint
+	tmp     []topology.SiteID
+	rates   plan.RateBuf
+	pr      placement.Problem
+	sol     placement.Scratch
+
+	// lat caches the topology's Latency method value so solveStage does
+	// not allocate a fresh closure per placement program.
+	lat    func(from, to topology.SiteID) time.Duration
+	latTop *topology.Topology
+}
+
+// latencyFn returns a cached top.Latency method value.
+func (ws *Workspace) latencyFn(top *topology.Topology) func(from, to topology.SiteID) time.Duration {
+	if ws.latTop != top {
+		ws.latTop = top
+		ws.lat = top.Latency
+	}
+	return ws.lat
+}

@@ -17,10 +17,11 @@
 package placement
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/topology"
@@ -144,11 +145,21 @@ func (pr *Problem) validate() error {
 // and bandwidth constraints. Exported for the adaptation policy, which
 // uses the bounds to size scale-out decisions.
 func (pr *Problem) UpperBounds() ([]int, error) {
+	return pr.upperBoundsInto(nil)
+}
+
+// upperBoundsInto is UpperBounds writing into buf when it has capacity.
+func (pr *Problem) upperBoundsInto(buf []int) ([]int, error) {
 	if err := pr.validate(); err != nil {
 		return nil, err
 	}
 	p := float64(pr.Parallelism)
-	ub := make([]int, pr.Sites)
+	ub := buf[:0]
+	if cap(ub) < pr.Sites {
+		ub = make([]int, pr.Sites)
+	} else {
+		ub = ub[:pr.Sites]
+	}
 	for s := 0; s < pr.Sites; s++ {
 		site := topology.SiteID(s)
 		bound := pr.AvailableSlots[s]
@@ -211,40 +222,73 @@ func (pr *Problem) CostPerTask(s topology.SiteID) float64 {
 	return c
 }
 
+// siteCost pairs a site with its per-task objective coefficient.
+type siteCost struct {
+	site topology.SiteID
+	cost float64
+}
+
+// Scratch holds reusable buffers for SolveInto. The zero value is ready to
+// use; a single Scratch must not be shared across concurrent solves.
+type Scratch struct {
+	ub    []int
+	order []siteCost
+	tasks []int
+	place Placement
+}
+
 // Solve returns an exact optimal placement, or ErrInfeasible.
 func Solve(pr *Problem) (*Placement, error) {
-	ub, err := pr.UpperBounds()
+	return pr.SolveInto(&Scratch{})
+}
+
+// SolveInto is Solve with caller-owned scratch. The returned Placement
+// aliases the scratch's buffers and is valid only until the next SolveInto
+// with the same scratch; callers that retain it must copy. The adaptation
+// controller solves ~10^3 placement programs per round, so the hot path
+// reuses one scratch across all of them.
+func (pr *Problem) SolveInto(sc *Scratch) (*Placement, error) {
+	ub, err := pr.upperBoundsInto(sc.ub)
 	if err != nil {
 		return nil, err
 	}
+	sc.ub = ub
 
-	type siteCost struct {
-		site topology.SiteID
-		cost float64
-	}
-	order := make([]siteCost, pr.Sites)
+	order := sc.order[:0]
 	for s := 0; s < pr.Sites; s++ {
-		order[s] = siteCost{site: topology.SiteID(s), cost: pr.CostPerTask(topology.SiteID(s))}
+		order = append(order, siteCost{site: topology.SiteID(s), cost: pr.CostPerTask(topology.SiteID(s))})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].cost != order[j].cost {
-			return order[i].cost < order[j].cost
+	sc.order = order
+	slices.SortFunc(order, func(a, b siteCost) int {
+		if a.cost != b.cost {
+			return cmp.Compare(a.cost, b.cost)
 		}
-		return order[i].site < order[j].site
+		return cmp.Compare(a.site, b.site)
 	})
 
-	result := &Placement{TasksPerSite: make([]int, pr.Sites)}
+	tasks := sc.tasks[:0]
+	if cap(tasks) < pr.Sites {
+		tasks = make([]int, pr.Sites)
+	} else {
+		tasks = tasks[:pr.Sites]
+		for i := range tasks {
+			tasks[i] = 0
+		}
+	}
+	sc.tasks = tasks
+	sc.place = Placement{TasksPerSite: tasks}
+	result := &sc.place
 	remaining := pr.Parallelism
-	for _, sc := range order {
+	for _, cand := range order {
 		if remaining == 0 {
 			break
 		}
-		n := min(remaining, ub[sc.site])
+		n := min(remaining, ub[cand.site])
 		if n <= 0 {
 			continue
 		}
-		result.TasksPerSite[sc.site] = n
-		result.Cost += float64(n) * sc.cost
+		result.TasksPerSite[cand.site] = n
+		result.Cost += float64(n) * cand.cost
 		remaining -= n
 	}
 	if remaining > 0 {

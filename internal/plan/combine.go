@@ -65,54 +65,99 @@ func leaf(i int) *Tree { return &Tree{Leaf: i, Set: 1 << uint(i)} }
 // combine returns an internal node joining l and r.
 func combine(l, r *Tree) *Tree { return &Tree{Leaf: -1, L: l, R: r, Set: l.Set | r.Set} }
 
-// EnumerateTrees returns all structurally distinct unordered binary trees
+// EnumerateTrees returns structurally distinct unordered binary trees
 // over k labeled leaves — the alternative pairwise combine orders of a
 // commutative, associative n-way join/aggregation. There are (2k-3)!! such
-// trees; enumeration stops after max trees when max > 0. k must be within
-// [1, 16].
+// trees; when max > 0 only the first max trees of the canonical
+// enumeration order are built (the generation itself stops early — it does
+// not enumerate all (2k-3)!! trees and truncate, which for k=8 would build
+// 135,135 trees to return 40). k must be within [1, 16].
 func EnumerateTrees(k, max int) []*Tree {
 	if k < 1 || k > 16 {
 		panic(fmt.Sprintf("plan: EnumerateTrees k=%d out of range [1,16]", k))
 	}
 	full := LeafSet(1<<uint(k)) - 1
-	memo := make(map[LeafSet][]*Tree)
-	var build func(s LeafSet) []*Tree
-	build = func(s LeafSet) []*Tree {
-		if ts, ok := memo[s]; ok {
-			return ts
-		}
-		var ts []*Tree
-		if s.Count() == 1 {
-			ts = []*Tree{leaf(bits.TrailingZeros64(uint64(s)))}
-		} else {
-			// Canonical split: the left part always contains the lowest
-			// leaf of s, so each unordered split is produced exactly once.
-			low := LeafSet(1) << uint(bits.TrailingZeros64(uint64(s)))
-			rest := s &^ low
-			// Enumerate subsets of rest to join with low on the left.
-			for sub := LeafSet(0); ; sub = (sub - rest) & rest {
-				left := low | sub
-				right := s &^ left
-				if right != 0 {
-					for _, lt := range build(left) {
-						for _, rt := range build(right) {
-							ts = append(ts, combine(lt, rt))
-						}
+	want := treeCount(k)
+	if max > 0 && int64(max) < want {
+		want = int64(max)
+	}
+	e := &treeEnum{memo: make(map[LeafSet][]*Tree)}
+	return e.build(full, want)
+}
+
+// treeCount returns (2m-3)!!, the number of unordered binary trees over m
+// labeled leaves (1 for m <= 2). Fits int64 for m <= 16.
+func treeCount(m int) int64 {
+	n := int64(1)
+	for i := int64(2*m - 3); i > 1; i -= 2 {
+		n *= i
+	}
+	return n
+}
+
+// treeEnum builds canonical-order tree enumerations under a budget. The
+// emission order is identical to the eager enumeration: splits in subset-
+// iteration order (left part always contains the lowest leaf), left
+// subtree major, right subtree minor.
+type treeEnum struct {
+	// memo holds, per LeafSet, the longest prefix built so far; complete
+	// enumerations of small subsets are shared across splits.
+	memo map[LeafSet][]*Tree
+}
+
+// build returns the first limit trees over s in canonical order. Because
+// the per-subset tree count is the closed form (2m-3)!!, each split knows
+// exactly how many left/right subtrees the remaining budget needs, so the
+// recursion never builds a tree that is not emitted.
+func (e *treeEnum) build(s LeafSet, limit int64) []*Tree {
+	total := treeCount(s.Count())
+	if limit > total {
+		limit = total
+	}
+	if ts, ok := e.memo[s]; ok && int64(len(ts)) >= limit {
+		return ts[:limit]
+	}
+	if s.Count() == 1 {
+		ts := []*Tree{leaf(bits.TrailingZeros64(uint64(s)))}
+		e.memo[s] = ts
+		return ts
+	}
+	ts := make([]*Tree, 0, limit)
+	// Canonical split: the left part always contains the lowest leaf of s,
+	// so each unordered split is produced exactly once.
+	low := LeafSet(1) << uint(bits.TrailingZeros64(uint64(s)))
+	rest := s &^ low
+	// Enumerate subsets of rest to join with low on the left.
+	for sub := LeafSet(0); int64(len(ts)) < limit; sub = (sub - rest) & rest {
+		left := low | sub
+		right := s &^ left
+		if right != 0 {
+			remaining := limit - int64(len(ts))
+			rc := treeCount(right.Count())
+			rNeed := rc
+			if remaining < rNeed {
+				rNeed = remaining
+			}
+			rts := e.build(right, rNeed)
+			lts := e.build(left, (remaining+rc-1)/rc)
+		product:
+			for _, lt := range lts {
+				for _, rt := range rts {
+					ts = append(ts, combine(lt, rt))
+					if int64(len(ts)) == limit {
+						break product
 					}
-				}
-				if sub == rest {
-					break
 				}
 			}
 		}
-		memo[s] = ts
-		return ts
+		if sub == rest {
+			break
+		}
 	}
-	trees := build(full)
-	if max > 0 && len(trees) > max {
-		trees = trees[:max]
+	if old, ok := e.memo[s]; !ok || len(ts) > len(old) {
+		e.memo[s] = ts
 	}
-	return trees
+	return ts
 }
 
 // LeftDeepTree builds the left-deep tree combining leaves in the given

@@ -61,6 +61,93 @@ func TestEnumerateTreesCap(t *testing.T) {
 	}
 }
 
+// eagerEnumerateTrees is the pre-lazy reference implementation: build every
+// tree via memoized recursion, then truncate. The budgeted enumerator must
+// reproduce its output order exactly for any cap.
+func eagerEnumerateTrees(k, max int) []*Tree {
+	full := LeafSet(1<<uint(k)) - 1
+	memo := make(map[LeafSet][]*Tree)
+	var build func(s LeafSet) []*Tree
+	build = func(s LeafSet) []*Tree {
+		if ts, ok := memo[s]; ok {
+			return ts
+		}
+		var ts []*Tree
+		if s.Count() == 1 {
+			ts = []*Tree{leaf(trailingLeaf(s))}
+		} else {
+			low := LeafSet(1) << uint(trailingLeaf(s))
+			rest := s &^ low
+			for sub := LeafSet(0); ; sub = (sub - rest) & rest {
+				left := low | sub
+				right := s &^ left
+				if right != 0 {
+					for _, lt := range build(left) {
+						for _, rt := range build(right) {
+							ts = append(ts, combine(lt, rt))
+						}
+					}
+				}
+				if sub == rest {
+					break
+				}
+			}
+		}
+		memo[s] = ts
+		return ts
+	}
+	trees := build(full)
+	if max > 0 && len(trees) > max {
+		trees = trees[:max]
+	}
+	return trees
+}
+
+func trailingLeaf(s LeafSet) int {
+	for i := 0; i < 64; i++ {
+		if s.Has(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestEnumerateTreesLazyMatchesEager pins the budgeted enumerator to the
+// eager reference order: full enumerations for small k, capped prefixes for
+// the planner-relevant shapes (k=8 with DefaultMaxVariants-style caps).
+func TestEnumerateTreesLazyMatchesEager(t *testing.T) {
+	cases := []struct{ k, max int }{
+		{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0},
+		{5, 1}, {5, 40}, {5, 104}, {5, 105}, {5, 1000},
+		{6, 7}, {6, 105}, {6, 944}, {6, 945},
+		{7, 40}, {7, 105}, {7, 0},
+		{8, 1}, {8, 40}, {8, 105}, {8, 106}, {8, 10000},
+	}
+	for _, tc := range cases {
+		want := eagerEnumerateTrees(tc.k, tc.max)
+		got := EnumerateTrees(tc.k, tc.max)
+		if len(got) != len(want) {
+			t.Errorf("k=%d max=%d: %d trees, want %d", tc.k, tc.max, len(got), len(want))
+			continue
+		}
+		for i := range want {
+			if got[i].String() != want[i].String() || got[i].Set != want[i].Set {
+				t.Errorf("k=%d max=%d: tree %d = %v, want %v", tc.k, tc.max, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestTreeCount(t *testing.T) {
+	wants := map[int]int64{1: 1, 2: 1, 3: 3, 4: 15, 5: 105, 6: 945, 7: 10395, 8: 135135}
+	for m, want := range wants {
+		if got := treeCount(m); got != want {
+			t.Errorf("treeCount(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
 func TestEnumerateTreesPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -7,7 +7,7 @@ package plan
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"github.com/wasp-stream/wasp/internal/detutil"
@@ -112,6 +112,24 @@ type Graph struct {
 	down   map[OpID][]OpID
 	up     map[OpID][]OpID
 	nextID OpID
+
+	// Structure-derived caches, invalidated by every structural mutation
+	// (AddOperator/Connect/RemoveEdge/RemoveOperator). The planner asks
+	// for the topological order many times per plan evaluation — per
+	// Validate, per Schedule, per cost estimate — on graphs that never
+	// change between those calls. Cached slices are returned directly;
+	// callers must treat them as read-only.
+	topoValid bool
+	topoCache []OpID
+	topoErr   error
+	idsValid  bool
+	idsCache  []OpID
+}
+
+// mutated drops the structure-derived caches.
+func (g *Graph) mutated() {
+	g.topoValid = false
+	g.idsValid = false
 }
 
 // NewGraph returns an empty logical plan.
@@ -133,6 +151,7 @@ func (g *Graph) AddOperator(op Operator) OpID {
 		op.PinnedSite = NoSite
 	}
 	g.ops[id] = &op
+	g.mutated()
 	return id
 }
 
@@ -151,6 +170,7 @@ func (g *Graph) Connect(from, to OpID) error {
 	}
 	g.down[from] = append(g.down[from], to)
 	g.up[to] = append(g.up[to], from)
+	g.mutated()
 	return nil
 }
 
@@ -168,12 +188,25 @@ func (g *Graph) Downstream(id OpID) []OpID { return append([]OpID(nil), g.down[i
 // Upstream returns the IDs of the operators feeding op.
 func (g *Graph) Upstream(id OpID) []OpID { return append([]OpID(nil), g.up[id]...) }
 
+// DownstreamView is Downstream without the defensive copy. The returned
+// slice aliases graph internals: read-only, valid until the next mutation.
+func (g *Graph) DownstreamView(id OpID) []OpID { return g.down[id] }
+
+// UpstreamView is Upstream without the defensive copy. The returned slice
+// aliases graph internals: read-only, valid until the next mutation.
+func (g *Graph) UpstreamView(id OpID) []OpID { return g.up[id] }
+
 // Len returns the number of operators.
 func (g *Graph) Len() int { return len(g.ops) }
 
-// OperatorIDs returns all operator IDs in ascending order.
+// OperatorIDs returns all operator IDs in ascending order. The returned
+// slice is cached; callers must not modify it.
 func (g *Graph) OperatorIDs() []OpID {
-	return detutil.SortedKeys(g.ops)
+	if !g.idsValid {
+		g.idsCache = detutil.SortedKeys(g.ops)
+		g.idsValid = true
+	}
+	return g.idsCache
 }
 
 // Sources returns the IDs of all KindSource operators, ascending.
@@ -194,8 +227,16 @@ func (g *Graph) byKind(k Kind) []OpID {
 
 // TopoOrder returns the operators in a deterministic topological order
 // (ties broken by ascending ID). It returns an error if the graph has a
-// cycle.
+// cycle. The returned slice is cached; callers must not modify it.
 func (g *Graph) TopoOrder() ([]OpID, error) {
+	if !g.topoValid {
+		g.topoCache, g.topoErr = g.computeTopo()
+		g.topoValid = true
+	}
+	return g.topoCache, g.topoErr
+}
+
+func (g *Graph) computeTopo() ([]OpID, error) {
 	indeg := make(map[OpID]int, len(g.ops))
 	for id := range g.ops {
 		indeg[id] = len(g.up[id])
@@ -219,9 +260,8 @@ func (g *Graph) TopoOrder() ([]OpID, error) {
 				unlocked = append(unlocked, d)
 			}
 		}
-		sort.Slice(unlocked, func(i, j int) bool { return unlocked[i] < unlocked[j] })
 		ready = append(ready, unlocked...)
-		sort.Slice(ready, func(i, j int) bool { return ready[i] < ready[j] })
+		slices.Sort(ready)
 	}
 	if len(order) != len(g.ops) {
 		return nil, fmt.Errorf("plan: graph has a cycle (%d of %d ordered)", len(order), len(g.ops))
@@ -297,6 +337,7 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) RemoveEdge(from, to OpID) {
 	g.down[from] = removeID(g.down[from], to)
 	g.up[to] = removeID(g.up[to], from)
+	g.mutated()
 }
 
 // RemoveOperator deletes an operator and all its edges.
@@ -310,6 +351,7 @@ func (g *Graph) RemoveOperator(id OpID) {
 	delete(g.ops, id)
 	delete(g.down, id)
 	delete(g.up, id)
+	g.mutated()
 }
 
 func removeID(ids []OpID, id OpID) []OpID {
@@ -364,4 +406,58 @@ func (g *Graph) ExpectedRates(rateFactor float64) (inRate, outRate, outBytes map
 		outBytes[id] = outRate[id] * op.OutEventBytes
 	}
 	return inRate, outRate, outBytes, nil
+}
+
+// RateBuf holds reusable output buffers for ExpectedRatesBuf. The slices
+// are indexed by OpID (the graph's ID space is dense, so IDs of removed
+// operators simply leave zero entries).
+type RateBuf struct {
+	In, Out, Bytes []float64
+}
+
+// ExpectedRatesBuf is ExpectedRates computing into caller-owned buffers,
+// resized and zeroed as needed — the planner evaluates ~10^2 variants per
+// re-planning round and the per-variant rate maps dominated its allocation
+// profile. The accumulation order matches ExpectedRates exactly, so the
+// computed values are bit-identical.
+func (g *Graph) ExpectedRatesBuf(rateFactor float64, buf *RateBuf) error {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	n := int(g.nextID)
+	buf.In = growZero(buf.In, n)
+	buf.Out = growZero(buf.Out, n)
+	buf.Bytes = growZero(buf.Bytes, n)
+	for _, id := range order {
+		op := g.ops[id]
+		var in float64
+		if op.Kind == KindSource {
+			in = op.SourceRate * rateFactor
+		} else {
+			for _, u := range g.up[id] {
+				in += buf.Out[u]
+			}
+		}
+		buf.In[id] = in
+		sigma := op.Selectivity
+		if op.Kind == KindSource {
+			sigma = 1
+		}
+		buf.Out[id] = in * sigma
+		buf.Bytes[id] = buf.Out[id] * op.OutEventBytes
+	}
+	return nil
+}
+
+// growZero returns s resized to length n with every element zeroed.
+func growZero(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }

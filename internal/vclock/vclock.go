@@ -111,10 +111,23 @@ func (s *Scheduler) Every(interval time.Duration, fn func(now Time)) *Event {
 		panic(fmt.Sprintf("vclock: non-positive interval %v", interval))
 	}
 	// The ticker is represented by a proxy event whose Cancel stops the
-	// chain. Each firing schedules the next one and forwards cancellation.
+	// chain. One heap event is reused for every firing: re-arming from
+	// inside the callback is safe because the event has already been
+	// popped, and it takes the exact seq the per-firing After used to
+	// take, so event ordering is unchanged. The proxy is never in the
+	// heap, so a long-lived ticker costs two allocations total instead of
+	// one per firing.
 	proxy := &Event{}
-	var tick func(now Time)
-	tick = func(now Time) {
+	ev := &Event{index: -1}
+	arm := func() {
+		ev.at = s.clock.Now() + interval
+		ev.seq = s.nextSeq
+		s.nextSeq++
+		ev.canceled = false
+		heap.Push(&s.queue, ev)
+		proxy.at = ev.at
+	}
+	ev.fn = func(now Time) {
 		if proxy.canceled {
 			return
 		}
@@ -122,11 +135,9 @@ func (s *Scheduler) Every(interval time.Duration, fn func(now Time)) *Event {
 		if proxy.canceled {
 			return
 		}
-		next := s.After(interval, tick)
-		proxy.at = next.at
+		arm()
 	}
-	first := s.After(interval, tick)
-	proxy.at = first.at
+	arm()
 	return proxy
 }
 
