@@ -65,6 +65,12 @@ type Pass struct {
 	// must degrade gracefully (skip type-dependent logic).
 	Pkg  *types.Package
 	Info *types.Info
+	// Graph is the interprocedural call graph over every package of the
+	// run (set by cmd/waspvet and the fixture harness after loading).
+	// Nil disables the interprocedural layers: wallclock/globalrand fall
+	// back to direct-call detection, genbump and hotalloc report
+	// nothing.
+	Graph *CallGraph
 }
 
 // A Diagnostic is one reported invariant violation.
@@ -144,6 +150,16 @@ func parseWaivers(pass *Pass, analyzers []*Analyzer) ([]waiver, []Diagnostic) {
 				tag, reason, _ := strings.Cut(rest, " ")
 				reason = strings.TrimSpace(reason)
 				p := pass.Fset.Position(c.Pos())
+				if annotationTags[tag] {
+					// Contract annotations (hotpath, guardedby, ordered)
+					// share the //waspvet: prefix but are not waivers; the
+					// argument-bearing ones must carry their argument.
+					if tag != "hotpath" && reason == "" {
+						diags = append(diags, Diagnostic{Pos: c.Pos(), Check: "waiver",
+							Message: fmt.Sprintf("waspvet:%s annotation requires an argument", tag)})
+					}
+					continue
+				}
 				switch {
 				case tag == "":
 					diags = append(diags, Diagnostic{Pos: c.Pos(), Check: "waiver",

@@ -6,6 +6,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -21,7 +22,13 @@ import (
 // false positives therefore simply carry no want comment — if the waiver
 // stopped working, the stray diagnostic fails the test.
 
-var wantRE = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+// wantRE finds the want clause; quotedRE then pulls each quoted pattern
+// out of it, so one comment can expect several diagnostics on its line:
+// `// want "first" "second"`.
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
 
 type expectation struct {
 	file string
@@ -49,11 +56,13 @@ func parseExpectations(t *testing.T, dir string) []*expectation {
 		sc := bufio.NewScanner(f)
 		for line := 1; sc.Scan(); line++ {
 			for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
-				pat, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					pat, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, q[1], err)
+					}
+					exps = append(exps, &expectation{file: path, line: line, re: pat})
 				}
-				exps = append(exps, &expectation{file: path, line: line, re: pat})
 			}
 		}
 		if err := sc.Err(); err != nil {
@@ -88,7 +97,16 @@ func runFixture(t *testing.T, check string) {
 		t.Fatalf("fixture %s has no want comments", dir)
 	}
 
-	diags := Apply(pkg.Pass(), []*Analyzer{a})
+	pass := pkg.Pass()
+	pass.Graph = BuildCallGraph([]*Pass{pass})
+	diags := Apply(pass, []*Analyzer{a})
+	matchExpectations(t, pkg, diags, exps)
+}
+
+// matchExpectations enforces the two-way exact match: every diagnostic is
+// wanted, every want is hit.
+func matchExpectations(t *testing.T, pkg *Package, diags []Diagnostic, exps []*expectation) {
+	t.Helper()
 	for _, d := range diags {
 		p := d.Position(pkg.Fset)
 		matched := false
@@ -123,6 +141,108 @@ func TestGlobalrandFixture(t *testing.T) { runFixture(t, "globalrand") }
 func TestMaprangeFixture(t *testing.T)   { runFixture(t, "maprange") }
 func TestLocksafeFixture(t *testing.T)   { runFixture(t, "locksafe") }
 func TestLeakygoFixture(t *testing.T)    { runFixture(t, "leakygo") }
+func TestGenbumpFixture(t *testing.T)    { runFixture(t, "genbump") }
+func TestHotallocFixture(t *testing.T)   { runFixture(t, "hotalloc") }
+func TestFloatorderFixture(t *testing.T) { runFixture(t, "floatorder") }
+
+// The interproc fixture seeds the laundering pattern v1 misses: time.Now
+// and rand.Intn reached through helper layers, never called at the
+// reporting site. Both call-graph-upgraded checks run over it.
+func TestInterprocFixture(t *testing.T) {
+	runFixtureDir(t, "interproc", []string{"wallclock", "globalrand"})
+}
+
+// Generic functions and instantiated types must flow through the loader
+// and the call graph — the wallclock hazard inside a generic function is
+// found through both implicit and explicit instantiations.
+func TestGenericsFixture(t *testing.T) {
+	runFixtureDir(t, "generics", []string{"wallclock"})
+}
+
+// The call graph must hold nodes for generic declarations (origin-
+// normalized) rather than panicking on or silently skipping them.
+func TestCallGraphGenerics(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", "src", "generics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Info == nil {
+		t.Fatal("generics fixture type-checking failed entirely")
+	}
+	pass := pkg.Pass()
+	g := BuildCallGraph([]*Pass{pass})
+	fns := map[string]*types.Func{}
+	for _, obj := range pass.Info.Defs {
+		if fn, ok := obj.(*types.Func); ok {
+			fns[fn.Name()] = fn
+		}
+	}
+	for _, name := range []string{"mapOver", "stamped", "first", "useInstantiations"} {
+		fn, ok := fns[name]
+		if !ok {
+			t.Fatalf("no *types.Func def for %s", name)
+		}
+		if g.Node(fn) == nil {
+			t.Errorf("call graph has no node for generic function %s", name)
+		}
+	}
+	if chain, ok := g.Reaches(fns["stamped"], "wallclock"); !ok {
+		t.Error("Reaches(stamped, wallclock) = false, want true")
+	} else if !strings.Contains(chain, "time.Now") {
+		t.Errorf("chain %q does not name time.Now", chain)
+	}
+	if _, ok := g.Reaches(fns["mapOver"], "wallclock"); ok {
+		t.Error("Reaches(mapOver, wallclock) = true, want false")
+	}
+	if chain, ok := g.Reaches(fns["useInstantiations"], "wallclock"); !ok {
+		t.Error("Reaches(useInstantiations, wallclock) = false, want true (through an instantiation)")
+	} else if !strings.Contains(chain, "stamped") {
+		t.Errorf("chain %q does not pass through stamped", chain)
+	}
+}
+
+// runFixtureDir is runFixture for a named testdata dir checked by
+// several analyzers at once.
+func runFixtureDir(t *testing.T, name string, checks []string) {
+	t.Helper()
+	var as []*Analyzer
+	for _, c := range checks {
+		a, ok := Lookup(c)
+		if !ok {
+			t.Fatalf("no analyzer registered as %q", c)
+		}
+		as = append(as, a)
+	}
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	exps := parseExpectations(t, dir)
+	if len(exps) == 0 {
+		t.Fatalf("fixture %s has no want comments", dir)
+	}
+	pass := pkg.Pass()
+	pass.Graph = BuildCallGraph([]*Pass{pass})
+	diags := Apply(pass, as)
+	matchExpectations(t, pkg, diags, exps)
+}
 
 // Waiver syntax errors are diagnostics in their own right: a bare tag, an
 // unknown tag, and a reason-less waiver must all be reported.
@@ -176,13 +296,13 @@ func TestWaiverMissingTag(t *testing.T) {
 	}
 }
 
-// The suite registry must hold exactly the documented five checks.
+// The suite registry must hold exactly the documented eight checks.
 func TestRegisteredAnalyzers(t *testing.T) {
 	var names []string
 	for _, a := range All() {
 		names = append(names, a.Name)
 	}
-	want := []string{"globalrand", "leakygo", "locksafe", "maprange", "wallclock"}
+	want := []string{"floatorder", "genbump", "globalrand", "hotalloc", "leakygo", "locksafe", "maprange", "wallclock"}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("registered analyzers = %v, want %v", names, want)
 	}

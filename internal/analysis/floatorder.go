@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func init() {
+	Register(&Analyzer{
+		Name: "floatorder",
+		Doc: "generalizes maprange's float-accumulation rule beyond maps: " +
+			"flags floating-point reductions (+=, -=, *=, /=, ++/--) into " +
+			"outer variables when ranging over a channel or over the results " +
+			"of a producer not marked //waspvet:ordered (e.g. worker-pool " +
+			"output), and float accumulation into shared variables from `go` " +
+			"closures — rounding then depends on arrival order; sort first, " +
+			"mark the producer //waspvet:ordered <how>, or waive with " +
+			"//waspvet:floatorder <reason>",
+		Run: runFloatorder,
+	})
+}
+
+// floatorderOrderedPkgs are non-module producer packages whose returned
+// collections are canonically ordered by construction.
+var floatorderOrderedPkgs = []string{"sort", "slices", "internal/detutil"}
+
+func runFloatorder(pass *Pass) []Diagnostic {
+	if pass.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			defs := collectSimpleDefs(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.RangeStmt:
+					if d, ok := rangeFloatHazard(pass, n, defs); ok {
+						diags = append(diags, d)
+					}
+				case *ast.GoStmt:
+					if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+						diags = append(diags, goFloatHazards(pass, lit)...)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// collectSimpleDefs indexes `v := expr` / `v = expr` single assignments
+// so a range source can be chased one hop back to its producer call.
+func collectSimpleDefs(pass *Pass, body *ast.BlockStmt) map[*types.Var]ast.Expr {
+	defs := map[*types.Var]ast.Expr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.Info.ObjectOf(id).(*types.Var); ok {
+			defs[v] = as.Rhs[0]
+		}
+		return true
+	})
+	return defs
+}
+
+// rangeFloatHazard reports a diagnostic when rng iterates a
+// non-canonically-ordered source AND its body accumulates floats into
+// state declared outside the loop. Maps are maprange's jurisdiction and
+// are skipped here.
+func rangeFloatHazard(pass *Pass, rng *ast.RangeStmt, defs map[*types.Var]ast.Expr) (Diagnostic, bool) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return Diagnostic{}, false
+	}
+	var source string
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return Diagnostic{}, false // maprange owns map iteration
+	case *types.Chan:
+		source = "a channel (fill order follows goroutine scheduling)"
+	default:
+		source = unorderedProducer(pass, rng.X, defs, 0)
+		if source == "" {
+			return Diagnostic{}, false
+		}
+	}
+	target := floatAccumTarget(pass, rng.Body, rng.Pos(), rng.End())
+	if target == "" {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:   rng.For,
+		Check: "floatorder",
+		Message: fmt.Sprintf("floating-point reduction into %s over %s: rounding depends on "+
+			"arrival order; sort the collection first, mark the producer //waspvet:ordered <how>, "+
+			"or waive with //waspvet:floatorder <reason>", target, source),
+	}, true
+}
+
+// unorderedProducer describes why the ranged expression's ordering is
+// suspect ("" = canonically ordered or unknowable). A plain slice
+// variable or field is ordered by construction; a call result is ordered
+// only when the producer is marked //waspvet:ordered or lives in a
+// sorted-by-construction package. Dynamic calls and non-module calls are
+// allowed (the call graph cannot judge them) — a documented
+// under-approximation.
+func unorderedProducer(pass *Pass, e ast.Expr, defs map[*types.Var]ast.Expr, depth int) string {
+	if depth > 4 {
+		return ""
+	}
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.ObjectOf(x).(*types.Var); ok {
+			if def, ok := defs[v]; ok {
+				return unorderedProducer(pass, def, defs, depth+1)
+			}
+		}
+		return ""
+	case *ast.CallExpr:
+		callee := calleeOf(pass.Info, x)
+		if callee == nil || callee.Pkg() == nil {
+			return ""
+		}
+		path := callee.Pkg().Path()
+		for _, p := range floatorderOrderedPkgs {
+			if path == p || strings.HasSuffix(path, p) {
+				return ""
+			}
+		}
+		if pass.Graph == nil {
+			return ""
+		}
+		node := pass.Graph.Node(callee)
+		if node == nil || node.Ordered {
+			return ""
+		}
+		return fmt.Sprintf("the results of %s, which is not marked //waspvet:ordered", callee.Name())
+	}
+	return ""
+}
+
+// floatAccumTarget returns the first outer variable the body accumulates
+// floats into ("" = none): compound float assignment or ++/-- on a
+// target declared outside [pos, end].
+func floatAccumTarget(pass *Pass, body *ast.BlockStmt, pos, end token.Pos) string {
+	target := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if target != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pass.Info.TypeOf(lhs)) && !declaredWithin(pass, rootIdent(lhs), pos, end) {
+						target = types.ExprString(lhs)
+						return false
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloat(pass.Info.TypeOf(n.X)) && !declaredWithin(pass, rootIdent(n.X), pos, end) {
+				target = types.ExprString(n.X)
+			}
+		}
+		return target == ""
+	})
+	return target
+}
+
+// goFloatHazards flags float accumulation from inside a `go` closure
+// into variables captured from the enclosing scope: goroutine completion
+// order is scheduler-dependent, so the rounding (and, without locking,
+// the value itself) is non-deterministic.
+func goFloatHazards(pass *Pass, lit *ast.FuncLit) []Diagnostic {
+	var diags []Diagnostic
+	hit := func(pos token.Pos, e ast.Expr) {
+		diags = append(diags, Diagnostic{
+			Pos:   pos,
+			Check: "floatorder",
+			Message: fmt.Sprintf("goroutine accumulates floating-point into captured variable %s: "+
+				"completion order is scheduler-dependent; collect per-worker results and reduce in a "+
+				"canonical order, or waive with //waspvet:floatorder <reason>", types.ExprString(e)),
+		})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				for _, lhs := range n.Lhs {
+					if isFloat(pass.Info.TypeOf(lhs)) && !declaredWithin(pass, rootIdent(lhs), lit.Pos(), lit.End()) {
+						hit(n.Pos(), lhs)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloat(pass.Info.TypeOf(n.X)) && !declaredWithin(pass, rootIdent(n.X), lit.Pos(), lit.End()) {
+				hit(n.Pos(), n.X)
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -20,8 +20,9 @@ func init() {
 	Register(&Analyzer{
 		Name: "globalrand",
 		Doc: "flags package-level math/rand calls (rand.Intn, rand.Float64, " +
-			"rand.Seed, ...): randomness must flow through an injected, seeded " +
-			"*rand.Rand so streams replay per-seed",
+			"rand.Seed, ...) and calls to module functions that transitively " +
+			"reach one (call-graph closure): randomness must flow through an " +
+			"injected, seeded *rand.Rand so streams replay per-seed",
 		Run: runGlobalrand,
 	})
 }
@@ -32,6 +33,10 @@ func runGlobalrand(pass *Pass) []Diagnostic {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if d, ok := transitiveHazard(pass, call, hazardGlobalrand, "the global rand source"); ok {
+				diags = append(diags, d)
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)

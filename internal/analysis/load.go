@@ -44,6 +44,7 @@ type Loader struct {
 
 	std     types.Importer
 	typed   map[string]*types.Package // import path -> checked package
+	pkgs    map[string]*Package       // import path -> loaded package (AST + Info)
 	loading map[string]bool           // cycle guard
 }
 
@@ -76,6 +77,7 @@ func NewLoader(root string) (*Loader, error) {
 		ModPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil),
 		typed:   map[string]*types.Package{},
+		pkgs:    map[string]*Package{},
 		loading: map[string]bool{},
 	}, nil
 }
@@ -138,6 +140,13 @@ func (l *Loader) pathFor(absDir string) string {
 }
 
 func (l *Loader) load(dir, pkgPath string) (*Package, error) {
+	// Serve repeat loads from cache: a package pulled in earlier as an
+	// import of another package MUST reuse the same type objects when its
+	// own directory is analyzed, or the interprocedural call graph cannot
+	// match its declarations against its callers' references.
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
 	if l.loading[pkgPath] {
 		return nil, fmt.Errorf("analysis: import cycle through %s", pkgPath)
 	}
@@ -184,6 +193,7 @@ func (l *Loader) load(dir, pkgPath string) (*Package, error) {
 	pkg.Types = tpkg
 	pkg.Info = info
 	l.typed[pkgPath] = tpkg
+	l.pkgs[pkgPath] = pkg
 	return pkg, nil
 }
 

@@ -1,0 +1,110 @@
+package analysis
+
+// SARIF 2.1.0 minimal-profile output, so CI can upload waspvet findings
+// as a code-scanning artifact. Only the fields the minimal profile
+// requires (plus rule metadata) are emitted; everything marshals with
+// encoding/json — no external SARIF dependency.
+
+// SARIFDiag is one resolved diagnostic ready for SARIF encoding (file
+// already relativized by the caller).
+type SARIFDiag struct {
+	File    string
+	Line    int
+	Col     int
+	Check   string
+	Message string
+}
+
+// SARIFLog is the document root.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFReport assembles a one-run SARIF log: one rule per analyzer (so
+// the rule table is stable regardless of which checks fired) and one
+// error-level result per diagnostic. Diagnostics from non-analyzer
+// sources (waiver syntax, annotation errors) reuse their Check name as
+// the rule id; ids absent from the rule table are permitted by the
+// minimal profile.
+func SARIFReport(analyzers []*Analyzer, diags []SARIFDiag) *SARIFLog {
+	rules := make([]SARIFRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, SARIFRule{
+			ID:               a.Name,
+			ShortDescription: SARIFMessage{Text: a.Doc},
+		})
+	}
+	results := make([]SARIFResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, SARIFResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: SARIFMessage{Text: d.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: d.File},
+					Region:           SARIFRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	return &SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "waspvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// The SARIF log must survive a marshal/unmarshal round trip with the
+// fields the minimal profile requires intact: schema/version, one rule
+// per registered analyzer, and each result's rule id, message and
+// physical location.
+func TestSARIFRoundTrip(t *testing.T) {
+	diags := []SARIFDiag{
+		{File: "internal/engine/engine.go", Line: 42, Col: 7, Check: "hotalloc", Message: "make allocates"},
+		{File: "internal/netsim/netsim.go", Line: 9, Col: 1, Check: "genbump", Message: "write to guarded field flows without bumping dirty"},
+	}
+	raw, err := json.MarshalIndent(SARIFReport(All(), diags), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SARIFLog
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	if got.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", got.Version)
+	}
+	if got.Schema == "" {
+		t.Error("$schema dropped in round trip")
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(got.Runs))
+	}
+	run := got.Runs[0]
+	if run.Tool.Driver.Name != "waspvet" {
+		t.Errorf("driver name = %q, want waspvet", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Fatalf("rule table has %d entries, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(All()))
+	}
+	for i, a := range All() {
+		r := run.Tool.Driver.Rules[i]
+		if r.ID != a.Name {
+			t.Errorf("rule %d id = %q, want %q", i, r.ID, a.Name)
+		}
+		if r.ShortDescription.Text != a.Doc {
+			t.Errorf("rule %q description = %q, want the analyzer doc", r.ID, r.ShortDescription.Text)
+		}
+	}
+	if len(run.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(run.Results), len(diags))
+	}
+	for i, d := range diags {
+		res := run.Results[i]
+		if res.RuleID != d.Check || res.Level != "error" || res.Message.Text != d.Message {
+			t.Errorf("result %d = %+v, want rule %q level error message %q", i, res, d.Check, d.Message)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d has %d locations, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != d.File || loc.Region.StartLine != d.Line || loc.Region.StartColumn != d.Col {
+			t.Errorf("result %d location = %+v, want %s:%d:%d", i, loc, d.File, d.Line, d.Col)
+		}
+	}
+}
+
+// An empty diagnostic set still emits a well-formed log with `results`
+// present as an empty array — CI uploads it unconditionally.
+func TestSARIFEmpty(t *testing.T) {
+	raw, err := json.Marshal(SARIFReport(All(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	runs := m["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"]
+	if !ok || results == nil {
+		t.Fatalf("results key missing or null in %s", raw)
+	}
+}

@@ -1,0 +1,91 @@
+// Fixture for the floatorder check: float reductions over channels,
+// unordered producer results, and `go`-closure accumulation are flagged;
+// ordered producers, int reductions, plain slices and waived sites pass.
+package floatorder
+
+//waspvet:ordered fixture: results sorted ascending by construction
+func ordered() []float64 { return []float64{1, 2} }
+
+func unordered() []float64 { return []float64{1, 2} }
+
+func sumOrdered() float64 {
+	var t float64
+	for _, v := range ordered() {
+		t += v
+	}
+	return t
+}
+
+func sumUnordered() float64 {
+	var t float64
+	for _, v := range unordered() { // want "results of unordered, which is not marked"
+		t += v
+	}
+	return t
+}
+
+func sumChased() float64 {
+	vs := unordered()
+	var t float64
+	for _, v := range vs { // want "results of unordered, which is not marked"
+		t += v
+	}
+	return t
+}
+
+func sumChan(ch chan float64) float64 {
+	var t float64
+	for v := range ch { // want "floating-point reduction into t over a channel"
+		t += v
+	}
+	return t
+}
+
+func sumWaived() float64 {
+	var t float64
+	//waspvet:floatorder fixture: summands are exact powers of two
+	for _, v := range unordered() {
+		t += v
+	}
+	return t
+}
+
+// countUnordered reduces ints: exact in any order, no diagnostic.
+func countUnordered() int {
+	n := 0
+	for range unordered() {
+		n++
+	}
+	return n
+}
+
+// localSlice ranges a literal-backed local: canonically ordered.
+func localSlice() float64 {
+	xs := []float64{1, 2}
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// localAccum accumulates into a loop-local: per-iteration state.
+func localAccum(ch chan float64) float64 {
+	last := 0.0
+	for v := range ch {
+		x := 0.0
+		x += v
+		last = x
+	}
+	return last
+}
+
+func goAccum(done chan struct{}) float64 {
+	var t float64
+	go func() {
+		t += 1 // want "goroutine accumulates floating-point into captured variable t"
+		done <- struct{}{}
+	}()
+	<-done
+	return t
+}

@@ -1,0 +1,68 @@
+// Fixture for the genbump check: writes of //waspvet:guardedby fields
+// must bump every named guard in the same function or a transitive
+// callee; waived writes and malformed annotations are covered too.
+package genbump
+
+type cache struct {
+	gen   int
+	epoch int
+	//waspvet:guardedby gen
+	items map[string]int
+	//waspvet:guardedby gen,epoch
+	list []int
+	//waspvet:guardedby missing
+	bad int // want "names unknown guard field \"missing\""
+}
+
+// other demonstrates the Type.field guard form: its payload is guarded
+// by cache's generation counter.
+type other struct {
+	//waspvet:guardedby cache.gen
+	payload int
+}
+
+// good pairs the write with a direct bump.
+func good(c *cache) {
+	c.items = map[string]int{"a": 1}
+	c.gen++
+}
+
+// goodViaCallee bumps through a helper: the pairing is interprocedural.
+func goodViaCallee(c *cache) {
+	c.items["k"] = 1
+	bump(c)
+}
+
+func bump(c *cache) { c.gen++ }
+
+// stale forgets the bump entirely — the motivating bug class.
+func stale(c *cache) {
+	c.items["k"] = 2 // want "write to guarded field items without bumping gen"
+}
+
+// partial bumps one guard of two.
+func partial(c *cache) {
+	c.list = append(c.list, 1) // want "write to guarded field list without bumping epoch"
+	c.gen++
+}
+
+// deletes mutate the field in place just like assignments.
+func deletes(c *cache) {
+	delete(c.items, "k") // want "write to guarded field items without bumping gen"
+}
+
+// crossType writes other.payload, whose guard lives on cache.
+func crossType(o *other) {
+	o.payload = 7 // want "write to guarded field payload without bumping cache.gen"
+}
+
+func crossTypeGood(o *other, c *cache) {
+	o.payload = 8
+	c.gen++
+}
+
+// waived documents a deliberately unguarded write.
+func waived(c *cache) {
+	//waspvet:genbump fixture: cache rebuilt wholesale immediately after
+	c.items = nil
+}

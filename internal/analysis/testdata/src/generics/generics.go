@@ -1,0 +1,32 @@
+// Fixture for call-graph generics coverage: generic functions, methods on
+// instantiated types, and explicitly/implicitly instantiated calls must
+// build graph nodes and edges (normalized to the origin declaration) —
+// not panic, and not silently drop the hazard.
+package generics
+
+import "time"
+
+type pair[T any] struct{ a, b T }
+
+func (p pair[T]) first() T { return p.a }
+
+func mapOver[T any](xs []T, f func(T) T) []T {
+	out := make([]T, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+func stamped[T any](x T) T {
+	_ = time.Now() // want "time.Now reads the wall clock"
+	return x
+}
+
+func useInstantiations() {
+	p := pair[int]{a: 1, b: 2}
+	_ = p.first()
+	_ = mapOver([]int{1, 2}, func(x int) int { return x })
+	_ = stamped(3)           // want "call to stamped transitively reaches the wall clock"
+	_ = stamped[string]("x") // want "call to stamped transitively reaches the wall clock"
+}

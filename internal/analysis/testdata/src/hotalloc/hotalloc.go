@@ -1,0 +1,67 @@
+// Fixture for the hotalloc check: allocation-inducing constructs inside
+// //waspvet:hotpath functions are flagged; reuse idioms, waived sites and
+// unannotated functions are not.
+package hotalloc
+
+import "fmt"
+
+type ring struct {
+	scratch []int
+	n       int
+	s       string
+}
+
+//waspvet:hotpath
+func hotHelper(r *ring) int { return r.n }
+
+func cold(r *ring) { r.scratch = nil }
+
+//waspvet:hotpath
+func vf(xs ...int) int { return len(xs) }
+
+//waspvet:hotpath
+func hotBad(r *ring, cb func() int, s2 string) {
+	s := make([]int, 4) // want "make allocates"
+	_ = s
+	p := new(ring) // want "new allocates"
+	_ = p
+	m := map[string]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	rp := &ring{} // want "composite literal escapes to the heap"
+	_ = rp
+	f := func() int { return 1 } // want "closure in hot path"
+	_ = f
+	r.s = r.s + s2  // want "string concatenation allocates"
+	r.s += s2       // want "string \+= allocates"
+	b := []byte(s2) // want "string/byte-slice conversion copies"
+	_ = b
+	_ = any(r.n) // want "conversion boxes a concrete value"
+	var dst any
+	dst = r.n // want "assignment boxes a concrete value"
+	_ = dst
+	go hotHelper(r)    // want "go statement in hot path"
+	defer hotHelper(r) // want "defer in hot path"
+	_ = cb()           // want "dynamic call"
+	_ = vf(1, 2)       // want "variadic call packs its arguments"
+	fmt.Println(s2)    // want "variadic call packs" "fmt.Println formats through reflection" "argument boxes a concrete value"
+	cold(r)            // want "call to cold leaves the audited hot path"
+}
+
+//waspvet:hotpath
+func hotGood(r *ring, out []int) []int {
+	buf := r.scratch[:0]
+	buf = append(buf, r.n) // reuse: rooted in a retained field
+	r.scratch = buf
+	out = append(out, r.n) // reuse: caller-supplied buffer
+	_ = hotHelper(r)       // hot callee: audit continues
+	//waspvet:hotalloc fixture: cold branch, runs once per topology change
+	cold(r)
+	return out
+}
+
+// notHot allocates freely — only annotated functions are audited.
+func notHot() []int {
+	return append([]int{}, make([]int, 8)...)
+}

@@ -1,0 +1,57 @@
+// Fixture for the interprocedural (call-graph) layer: wall-clock and
+// global-rand hazards laundered through helpers are reported at the
+// laundering call sites with the offending chain — the pattern the v1
+// direct-call checks miss. Waived hazard sites must not propagate.
+package interproc
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func launder() int64 {
+	return stamp() // want "call to stamp transitively reaches the wall clock"
+}
+
+func top() int64 {
+	return launder() // want "call to launder transitively reaches the wall clock"
+}
+
+func waivedStamp() int64 {
+	//waspvet:wallclock fixture: wall time logged only, never feeds the timeline
+	return time.Now().UnixNano()
+}
+
+// usesWaived must stay silent: a waived hazard does not propagate.
+func usesWaived() int64 { return waivedStamp() }
+
+func roll() int {
+	return rand.Intn(6) // want "rand.Intn draws from the global source"
+}
+
+func launderRoll() int {
+	return roll() // want "call to roll transitively reaches the global rand source"
+}
+
+// seeded randomness resolves through an injected *rand.Rand — no hazard
+// at any depth.
+func seeded(r *rand.Rand) int { return r.Intn(6) }
+
+func usesSeeded(r *rand.Rand) int { return seeded(r) }
+
+// mutual recursion must terminate, and the hazard inside the cycle is
+// still found from outside it.
+func pingpongA(n int) int64 {
+	if n <= 0 {
+		return stamp() // want "call to stamp transitively reaches the wall clock"
+	}
+	return pingpongB(n - 1) // want "call to pingpongB transitively reaches the wall clock"
+}
+
+func pingpongB(n int) int64 {
+	return pingpongA(n) // want "call to pingpongA transitively reaches the wall clock"
+}

@@ -24,9 +24,10 @@ func init() {
 	Register(&Analyzer{
 		Name: "wallclock",
 		Doc: "flags wall-clock reads (time.Now/Since/Sleep/Ticker/...) outside " +
-			"internal/vclock; simulator code must use the virtual clock, and " +
-			"deliberate wall-clock sites (progress logging) carry a " +
-			"//waspvet:wallclock <reason> waiver",
+			"internal/vclock, both direct calls and calls to module functions " +
+			"that transitively reach one (call-graph closure); simulator code " +
+			"must use the virtual clock, and deliberate wall-clock sites " +
+			"(progress logging) carry a //waspvet:wallclock <reason> waiver",
 		Run: runWallclock,
 	})
 }
@@ -42,6 +43,10 @@ func runWallclock(pass *Pass) []Diagnostic {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
+				return true
+			}
+			if d, ok := transitiveHazard(pass, call, hazardWallclock, "the wall clock"); ok {
+				diags = append(diags, d)
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -65,4 +70,28 @@ func runWallclock(pass *Pass) []Diagnostic {
 		})
 	}
 	return diags
+}
+
+// transitiveHazard upgrades a direct-call check to "transitively
+// reaches": a call to a module function whose static call-graph closure
+// contains a non-waived hazard of the given tag is itself a diagnostic,
+// reported at the laundering call site with the offending chain.
+func transitiveHazard(pass *Pass, call *ast.CallExpr, tag, what string) (Diagnostic, bool) {
+	if pass.Graph == nil || pass.Info == nil {
+		return Diagnostic{}, false
+	}
+	callee := calleeOf(pass.Info, call)
+	if callee == nil || pass.Graph.Node(callee) == nil {
+		return Diagnostic{}, false
+	}
+	chain, ok := pass.Graph.Reaches(callee, tag)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	return Diagnostic{
+		Pos:   call.Pos(),
+		Check: tag,
+		Message: fmt.Sprintf("call to %s transitively reaches %s (%s); plumb the determinism-safe "+
+			"substitute through, or waive with //waspvet:%s <reason>", callee.Name(), what, chain, tag),
+	}, true
 }

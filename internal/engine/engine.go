@@ -144,6 +144,8 @@ type group struct {
 
 // suspended reports whether the group is withheld from processing by
 // either suspension source.
+//
+//waspvet:hotpath
 func (g *group) suspended() bool { return g.haltedManual || g.haltedAdapt }
 
 // capacity returns the group's processing budget in events/s.
@@ -189,9 +191,12 @@ type Engine struct {
 	net   *netsim.Network
 	sched *vclock.Scheduler
 
-	plan   *physical.Plan
+	//waspvet:guardedby topoDirty
+	plan *physical.Plan
+	//waspvet:guardedby topoDirty
 	groups map[groupKey]*group
-	flows  map[flowKey]*edgeFlow
+	//waspvet:guardedby flowsDirty,flowsEpoch
+	flows map[flowKey]*edgeFlow
 
 	workloadFactor *trace.Trace
 	sourceFactors  map[plan.OpID]*trace.Trace
@@ -241,6 +246,7 @@ type Engine struct {
 	// of X's own branch), for the paper's processing-ratio metric (§8.3).
 	// "Processed" events are those transported past the ingest stages
 	// (the operators consuming sources directly) minus any later drops.
+	//waspvet:guardedby topoDirty
 	frontOps         map[plan.OpID]bool // operators fed directly by sources
 	transportedSrc   float64            // delivered past ingest, src equivalents
 	droppedSrcEquiv  float64            // all drops, src equivalents
@@ -435,6 +441,8 @@ func (e *Engine) InjectStraggler(op plan.OpID, site topology.SiteID, factor floa
 // the per-(op,site) straggler multiplied by the site-wide one. The map
 // probe is skipped entirely while no per-operator straggler is injected —
 // the common case on the tick hot path.
+//
+//waspvet:hotpath
 func (e *Engine) stragglerFactor(g *group) float64 {
 	f := e.siteStrag[g.site]
 	if len(e.stragglers) != 0 {
@@ -464,7 +472,11 @@ func (e *Engine) Deploy(p *physical.Plan) error {
 
 // refreshGoodputModel recomputes the set of ingest operators (direct
 // source consumers) used by the goodput counters. Called whenever the
-// plan (graph) changes.
+// plan (graph) changes. group.front and fSrcFront cache frontOps
+// membership at wiring rebuild, so recomputing it must invalidate the
+// topo caches — every current caller happens to have set topoDirty
+// already, but the invalidation belongs with the mutation (caught by
+// waspvet's genbump check).
 func (e *Engine) refreshGoodputModel() {
 	e.frontOps = make(map[plan.OpID]bool)
 	g := e.plan.Graph
@@ -473,6 +485,7 @@ func (e *Engine) refreshGoodputModel() {
 			e.frontOps[d] = true
 		}
 	}
+	e.topoDirty = true
 }
 
 // Start begins the tick loop on the scheduler.
@@ -535,6 +548,8 @@ func (e *Engine) addGroup(id plan.OpID, site topology.SiteID, tasks int) *group 
 }
 
 // opGroups returns the groups of one operator, ascending by site.
+//
+//waspvet:ordered ascending site index, stable across runs
 func (e *Engine) opGroups(id plan.OpID) []*group {
 	var out []*group
 	for s := 0; s < e.top.N(); s++ {
@@ -561,6 +576,8 @@ func TickCount() int64 { return tickCount.Load() }
 func (e *Engine) Ticks() int64 { return e.ticks.Load() }
 
 // tick advances the simulation by one step ending at `now`.
+//
+//waspvet:hotpath
 func (e *Engine) tick(now vclock.Time) {
 	dt := now - e.lastNow
 	if dt <= 0 {
@@ -575,7 +592,7 @@ func (e *Engine) tick(now vclock.Time) {
 	// 0. Refresh the columnar wiring and, when the network reports a
 	// latency-affecting change (link fault set/cleared), re-sample each
 	// flow's cached link latency.
-	e.ensureWiring()
+	e.ensureWiring() //waspvet:hotalloc amortized cold rebuild; no-op unless wiring generation moved
 	if lg := e.net.LatencyGen(); lg != e.latGen {
 		e.latGen = lg
 		for i, f := range e.flowList {
@@ -616,8 +633,9 @@ func (e *Engine) tick(now vclock.Time) {
 	e.generate(now, now-dt, dtSec)
 
 	// 5. Process groups in topological order (cached; see hotpath.go).
-	e.ensureTopo()
+	e.ensureTopo() //waspvet:hotalloc amortized cold rebuild; no-op unless topoDirty
 	if e.topoErr != nil {
+		//waspvet:hotalloc fatal-path formatting; the panic ends the run
 		panic(fmt.Sprintf("engine: invalid plan at runtime: %v", e.topoErr))
 	}
 	for _, groups := range e.stageGroups {
@@ -627,15 +645,15 @@ func (e *Engine) tick(now vclock.Time) {
 	}
 
 	// 6. Progress pending reconfigurations and re-plans.
-	e.progressReconfigs(now)
-	e.progressReplan(now)
+	e.progressReconfigs(now) //waspvet:hotalloc adaptation progress; no-op when no reconfiguration is pending
+	e.progressReplan(now)    //waspvet:hotalloc adaptation progress; no-op when no re-plan is pending
 
 	// 7. Refresh backpressure flags for the next tick's demands.
 	e.updateBackpressure()
 
 	// 8. Record the tick into the flight recorder (nil = no-op).
 	if e.flight != nil {
-		e.recordFlight(now, dtSec)
+		e.recordFlight(now, dtSec) //waspvet:hotalloc flight recorder is opt-in; ring buffers are preallocated
 	}
 }
 
@@ -644,6 +662,8 @@ func (e *Engine) tick(now vclock.Time) {
 // order must not leak into event order). The order is cached across ticks
 // and rebuilt only after the flow set changes; callers must treat the
 // returned slice as read-only.
+//
+//waspvet:ordered canonical flowKeyLess order, cached per epoch
 func (e *Engine) sortedFlows() []*edgeFlow {
 	e.ensureFlows()
 	return e.flowList
@@ -675,6 +695,8 @@ func groupKeyLess(a, b groupKey) bool {
 // queueFull applies the backpressure bound: a queue is full when it holds
 // more than BackpressureSec seconds of work at the group's capacity
 // (precomputed as bpLimit at group construction).
+//
+//waspvet:hotpath
 func (e *Engine) queueFull(g *group) bool {
 	if g.isSink {
 		return false
@@ -686,6 +708,8 @@ func (e *Engine) queueFull(g *group) bool {
 // the destination group, aging cohorts by the link latency. The flows
 // slice is the columnar snapshot captured at tick start — nothing
 // structural mutates between the demand pass and delivery.
+//
+//waspvet:hotpath
 func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
 	for i, f := range flows {
 		nf := e.fNet[i]
@@ -718,8 +742,10 @@ func (e *Engine) deliverFlows(flows []*edgeFlow, dtSec float64) {
 // generate pushes external arrivals into source groups. Generation
 // continues through failures and halts — reality does not pause — which is
 // what makes backlogs accumulate.
+//
+//waspvet:hotpath
 func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
-	e.ensureTopo()
+	e.ensureTopo()                     //waspvet:hotalloc amortized cold rebuild; no-op unless topoDirty
 	base := e.workloadFactor.At(start) // same instant for every source
 	for _, sg := range e.srcGens {
 		factor := base
@@ -745,6 +771,8 @@ func (e *Engine) generate(now, start vclock.Time, dtSec float64) {
 }
 
 // processGroup runs one task group for one tick.
+//
+//waspvet:hotpath
 func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed bool) {
 	if e.siteDown[g.site] {
 		return
@@ -841,6 +869,8 @@ func (e *Engine) processGroup(g *group, now vclock.Time, dtSec float64, failed b
 }
 
 // failSafeSLO returns the Degrade SLO.
+//
+//waspvet:hotpath
 func (e *Engine) failSafeSLO() vclock.Time { return vclock.Time(e.cfg.SLO) }
 
 // fireWindows emits every buffered window whose end has passed on the
@@ -851,6 +881,8 @@ func (e *Engine) failSafeSLO() vclock.Time { return vclock.Time(e.cfg.SLO) }
 // it and fire on the next tick, which conserves counts and attributes the
 // lateness to the emitted cohort (its born time stays the window's max
 // event time, the paper's §8.3 convention).
+//
+//waspvet:hotpath
 func (e *Engine) fireWindows(g *group, now vclock.Time) {
 	fired := 0
 	for i := range g.windows {
@@ -873,6 +905,8 @@ func (e *Engine) fireWindows(g *group, now vclock.Time) {
 // inserting a fresh slot in sorted position if absent. The returned
 // pointer is valid until the next insert. Steady-state inserts hit the
 // last slot (the current window) without searching or allocating.
+//
+//waspvet:hotpath
 func (g *group) winAt(start vclock.Time) *winAcc {
 	n := len(g.windows)
 	if n > 0 && g.windows[n-1].start == start {
@@ -901,6 +935,8 @@ func (g *group) winAt(start vclock.Time) *winAcc {
 }
 
 // windowStart mirrors stream.windowStart for the fluid model.
+//
+//waspvet:hotpath
 func windowStart(t vclock.Time, size time.Duration) vclock.Time {
 	if size <= 0 {
 		return t
@@ -911,8 +947,10 @@ func windowStart(t vclock.Time, size time.Duration) vclock.Time {
 // fanOut distributes `count` output events born at `born`, each worth
 // `worth` source equivalents (raw or partial-result), to every downstream
 // operator, splitting across its sites by task share.
+//
+//waspvet:hotpath
 func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bool) {
-	e.ensureTopo()
+	e.ensureTopo() //waspvet:hotalloc amortized cold rebuild; no-op unless topoDirty
 	if g.fanGen != e.topoGen {
 		g.fan, g.fanGen = e.fanPlans[g.op.ID], e.topoGen
 	}
@@ -945,10 +983,12 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 			if f == nil {
 				f = e.flows[flowKey{from: g.op.ID, to: ft.down, fromSite: g.site, toSite: fs.site}]
 				if f == nil {
+					//waspvet:hotalloc cold branch: first event on a new (edge, site-pair); flow persists across ticks
 					f = e.addFlow(g.op.ID, ft.down, g.site, fs.site) // bumps flowsEpoch
 				}
 				if fs.flowEpoch != e.flowsEpoch || fs.flowBySrc == nil {
 					if cap(fs.flowBySrc) < len(e.siteDown) {
+						//waspvet:hotalloc cold branch: per-sender flow cache grows once per topology size
 						fs.flowBySrc = make([]*edgeFlow, len(e.siteDown))
 					} else {
 						fs.flowBySrc = fs.flowBySrc[:len(e.siteDown)]
@@ -970,8 +1010,10 @@ func (e *Engine) fanOut(g *group, born vclock.Time, count, worth float64, raw bo
 // capacity). ensureWiring runs first so flows added earlier in the same
 // tick (fan-out to a new site pair) are visible, exactly as the map-backed
 // index behaved.
+//
+//waspvet:hotpath
 func (e *Engine) sendBlocked(g *group) bool {
-	e.ensureWiring()
+	e.ensureWiring() //waspvet:hotalloc amortized cold rebuild; no-op unless wiring generation moved
 	for _, f := range g.out {
 		linkCap := e.linkCap(f.linkID)
 		if linkCap <= 0 {
@@ -993,6 +1035,8 @@ func (e *Engine) sendBlocked(g *group) bool {
 // moved. Capacity at a fixed instant changes only through link faults
 // (tracked by net.LatencyGen) — traces are pure functions of time — so
 // the stamp is exact.
+//
+//waspvet:hotpath
 func (e *Engine) linkCap(id int32) float64 {
 	if !e.capsValid || e.capsAt != e.lastNow || e.capsGen != e.wiringGen || e.capsFault != e.net.LatencyGen() {
 		e.capsValid = true
@@ -1011,9 +1055,11 @@ func (e *Engine) linkCap(id int32) float64 {
 // bound, so next tick's flow demands and processing observe it. With an
 // observer attached, groups are visited in deterministic order and each
 // false→true transition emits a backpressure.onset event.
+//
+//waspvet:hotpath
 func (e *Engine) updateBackpressure() {
 	if e.obs == nil {
-		e.ensureWiring()
+		e.ensureWiring() //waspvet:hotalloc amortized cold rebuild; no-op unless wiring generation moved
 		for _, g := range e.groupList {
 			if e.queueFull(g) || e.sendBlocked(g) {
 				g.backpressured = true
@@ -1021,7 +1067,7 @@ func (e *Engine) updateBackpressure() {
 		}
 		return
 	}
-	e.ensureTopo()
+	e.ensureTopo() //waspvet:hotalloc amortized cold rebuild; no-op unless topoDirty
 	if e.topoErr != nil {
 		return
 	}
@@ -1032,9 +1078,11 @@ func (e *Engine) updateBackpressure() {
 				g.backpressured = true
 			}
 			if bp && !g.bpActive {
+				//waspvet:hotalloc observer-gated edge-transition event, not per-tick steady state
 				e.obs.Emit("backpressure.onset",
 					obs.Int("op", int(g.op.ID)), obs.Int("site", int(g.site)),
 					obs.F64("input_queue", g.inQ.len()))
+				//waspvet:hotalloc observer-gated edge-transition telemetry, not per-tick steady state
 				e.obs.Registry().Counter("wasp_backpressure_onsets_total", "op", opLabel(g.op.ID)).Inc()
 			}
 			g.bpActive = bp

@@ -184,3 +184,18 @@ func TestFullMoveSuspendsStage(t *testing.T) {
 		t.Fatal("stage processed during a full move")
 	}
 }
+
+// refreshGoodputModel recomputes frontOps, which group.front and
+// fSrcFront cache at wiring-rebuild time — so it must leave the topo
+// caches dirty. Regression test for the invalidation the genbump check
+// caught: every caller happened to set topoDirty already, but the bump
+// belongs with the mutation.
+func TestRefreshGoodputModelInvalidatesTopo(t *testing.T) {
+	r := pipelineRig(t, Config{}, 1000, 100)
+	r.run(t, 100*time.Millisecond) // a few ticks rebuild and clear the caches
+	r.eng.topoDirty = false
+	r.eng.refreshGoodputModel()
+	if !r.eng.topoDirty {
+		t.Fatal("refreshGoodputModel left topoDirty false; stale group.front caches would survive")
+	}
+}

@@ -27,6 +27,8 @@ type cohort struct {
 }
 
 // src returns the cohort's source-equivalent total.
+//
+//waspvet:hotpath
 func (c cohort) src() float64 { return c.count * c.worth }
 
 // cohortQueue is a FIFO of cohorts with O(1) amortized push/pop.
@@ -39,6 +41,8 @@ type cohortQueue struct {
 // push appends count events of the given per-event worth, merging with
 // the tail cohort when the born time and rawness match (worth becomes the
 // count-weighted average, preserving source-equivalent totals).
+//
+//waspvet:hotpath
 func (q *cohortQueue) push(born vclock.Time, count, worth float64, raw bool) {
 	if count <= 0 {
 		return
@@ -54,10 +58,14 @@ func (q *cohortQueue) push(born vclock.Time, count, worth float64, raw bool) {
 }
 
 // len returns the number of queued events.
+//
+//waspvet:hotpath
 func (q *cohortQueue) len() float64 { return q.total }
 
 // srcTotal returns the source-equivalent total across the live cohorts,
 // for conservation accounting and drain-progress measurement.
+//
+//waspvet:hotpath
 func (q *cohortQueue) srcTotal() float64 {
 	var total float64
 	for i := q.head; i < len(q.items); i++ {
@@ -67,11 +75,15 @@ func (q *cohortQueue) srcTotal() float64 {
 }
 
 // empty reports whether the queue holds no events.
+//
+//waspvet:hotpath
 func (q *cohortQueue) empty() bool { return q.total <= 1e-9 }
 
 // oldestBorn returns the generation time of the head cohort, or ok=false
 // when empty. The head-bound check guards against float residue in total
 // making empty() disagree with the item slice.
+//
+//waspvet:hotpath
 func (q *cohortQueue) oldestBorn() (vclock.Time, bool) {
 	if q.empty() || q.head >= len(q.items) {
 		return 0, false
@@ -85,6 +97,8 @@ func (q *cohortQueue) pop(n float64) []cohort { return q.popInto(n, nil) }
 
 // popInto is pop appending into a caller-supplied buffer, so per-tick
 // callers can recycle one scratch slice instead of allocating per pop.
+//
+//waspvet:hotpath
 func (q *cohortQueue) popInto(n float64, out []cohort) []cohort {
 	for n > 1e-9 && q.head < len(q.items) {
 		c := &q.items[q.head]
@@ -108,6 +122,8 @@ func (q *cohortQueue) popInto(n float64, out []cohort) []cohort {
 // popHead removes and returns the head cohort regardless of its size
 // (ok=false when empty). Used by shedding paths, where pop's fractional
 // epsilon handling could otherwise spin on sub-epsilon head cohorts.
+//
+//waspvet:hotpath
 func (q *cohortQueue) popHead() (cohort, bool) {
 	if q.head >= len(q.items) {
 		return cohort{}, false
@@ -123,9 +139,13 @@ func (q *cohortQueue) popHead() (cohort, bool) {
 // popAll drains the queue exactly, returning every remaining cohort. It
 // iterates the item slice rather than popping by count so accumulated
 // float error in total can never leave cohorts behind.
+//
+//waspvet:ordered FIFO arrival order, deterministic under the virtual clock
 func (q *cohortQueue) popAll() []cohort { return q.popAllInto(nil) }
 
 // popAllInto is popAll appending into a caller-supplied buffer.
+//
+//waspvet:hotpath
 func (q *cohortQueue) popAllInto(out []cohort) []cohort {
 	for i := q.head; i < len(q.items); i++ {
 		out = append(out, q.items[i])
@@ -142,6 +162,8 @@ func (q *cohortQueue) popAllInto(out []cohort) []cohort {
 // when every cohort has been consumed, making empty() report non-empty
 // while head == len(items) — and oldestBorn index out of range. When the
 // item slice is drained, total is exactly zero by construction.
+//
+//waspvet:hotpath
 func (q *cohortQueue) resync() {
 	if q.head >= len(q.items) || q.total < 1e-9 {
 		q.total = 0
@@ -150,6 +172,8 @@ func (q *cohortQueue) resync() {
 
 // compact reclaims consumed head space once it dominates the backing
 // array.
+//
+//waspvet:hotpath
 func (q *cohortQueue) compact() {
 	if q.head > 64 && q.head*2 >= len(q.items) {
 		n := copy(q.items, q.items[q.head:])

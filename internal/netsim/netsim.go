@@ -35,9 +35,11 @@ type linkKey struct {
 // id — the tie-break order the allocation is deterministic under) and the
 // dirty flag that schedules a re-solve.
 type linkState struct {
-	id        int
-	key       linkKey
-	flows     []*Flow
+	id  int
+	key linkKey
+	//waspvet:guardedby dirty,Network.activeDirty
+	flows []*Flow
+	//waspvet:guardedby dirty,Network.activeDirty
 	transfers []*Transfer
 	// dirty marks that an allocation input changed since the last solve;
 	// the link sits in Network.dirtyIDs exactly when set.
@@ -48,14 +50,16 @@ type linkState struct {
 	traced bool
 }
 
+//waspvet:hotpath
 func (l *linkState) claimantCount() int { return len(l.flows) + len(l.transfers) }
 
 // Flow is a persistent data stream between two sites. Its demand is set by
 // the engine each step; Allocated reports the rate granted by the link's
 // fair-share allocation at the most recent Step.
 type Flow struct {
-	id        int
-	From, To  topology.SiteID
+	id       int
+	From, To topology.SiteID
+	//waspvet:guardedby linkState.dirty
 	demand    float64 // bytes/s requested
 	allocated float64 // bytes/s granted at last Step
 	removed   bool
@@ -66,6 +70,8 @@ type Flow struct {
 // SetDemand sets the flow's requested rate in bytes/s. Negative demand is
 // treated as zero. Setting the demand the flow already has is free: the
 // link is only re-solved when an allocation input actually changed.
+//
+//waspvet:hotpath
 func (f *Flow) SetDemand(bytesPerSec float64) {
 	bytesPerSec = math.Max(bytesPerSec, 0)
 	if bytesPerSec == f.demand {
@@ -78,9 +84,13 @@ func (f *Flow) SetDemand(bytesPerSec float64) {
 }
 
 // Demand returns the currently requested rate in bytes/s.
+//
+//waspvet:hotpath
 func (f *Flow) Demand() float64 { return f.demand }
 
 // Allocated returns the rate in bytes/s granted at the last Step.
+//
+//waspvet:hotpath
 func (f *Flow) Allocated() float64 { return f.allocated }
 
 // Transfer is a bulk state-migration transfer. It consumes all bandwidth
@@ -113,18 +123,23 @@ func (t *Transfer) Remaining() float64 { return t.remaining }
 func (t *Transfer) Total() float64 { return t.total }
 
 // Allocated returns the rate in bytes/s granted at the last Step.
+//
+//waspvet:hotpath
 func (t *Transfer) Allocated() float64 { return t.allocated }
 
 // Network emulates all WAN links between the sites of a topology.
 // Not safe for concurrent use; the simulation is single-threaded.
 type Network struct {
-	top          *topology.Topology
+	top *topology.Topology
+	//waspvet:guardedby globalInit
 	globalFactor *trace.Trace
-	linkFactors  map[linkKey]*trace.Trace
-	linkFaults   map[linkKey]float64
-	flows        map[int]*Flow
-	transfers    map[int]*Transfer
-	nextID       int
+	//waspvet:guardedby linkState.dirty
+	linkFactors map[linkKey]*trace.Trace
+	//waspvet:guardedby latencyGen,linkState.dirty
+	linkFaults map[linkKey]float64
+	flows      map[int]*Flow
+	transfers  map[int]*Transfer
+	nextID     int
 
 	// Dense link registry. linkIdx is consulted only on cold paths
 	// (flow/transfer attach, fault injection); the hot path works off the
@@ -204,6 +219,8 @@ func (n *Network) link(from, to topology.SiteID) *linkState {
 }
 
 // markDirty schedules a link for re-solving at the next Step.
+//
+//waspvet:hotpath
 func (n *Network) markDirty(l *linkState) {
 	if l.dirty {
 		return
@@ -289,6 +306,8 @@ func (n *Network) ClearLinkFault(from, to topology.SiteID) {
 
 // Capacity returns the from→to link capacity at time now, in bytes/s,
 // after applying dynamics factors.
+//
+//waspvet:hotpath
 func (n *Network) Capacity(from, to topology.SiteID, now vclock.Time) float64 {
 	base := n.top.BaseBandwidth(from, to).BytesPerSec()
 	if from == to {
@@ -316,6 +335,8 @@ func (n *Network) CapacityMbps(from, to topology.SiteID, now vclock.Time) topolo
 // the base latency — capacity zero already stops all delivery, and an
 // infinite latency would poison consumers that precompute delivery
 // offsets for when the link heals.
+//
+//waspvet:hotpath
 func (n *Network) Latency(from, to topology.SiteID) time.Duration {
 	base := n.top.Latency(from, to)
 	if ff, ok := n.linkFaults[linkKey{from, to}]; ok && ff > 0 && ff < 1 {
@@ -327,6 +348,8 @@ func (n *Network) Latency(from, to topology.SiteID) time.Duration {
 // LatencyGen returns a counter that advances whenever a link's effective
 // latency may have changed (fault injected or healed). Consumers caching
 // Latency() results refresh when the value moves.
+//
+//waspvet:hotpath
 func (n *Network) LatencyGen() uint64 { return n.latencyGen }
 
 // AddFlow registers a persistent flow on the from→to link with zero
@@ -457,8 +480,11 @@ type claimant struct {
 // active links). Skipping the rest is exact, not approximate: the
 // allocation is a pure function of capacity, demands, and claimant order,
 // so unchanged inputs reproduce the stored outputs bit-for-bit.
+//
+//waspvet:hotpath
 func (n *Network) Step(now vclock.Time, dt time.Duration) {
 	if dt <= 0 {
+		//waspvet:hotalloc fatal-path formatting; the panic ends the run
 		panic(fmt.Sprintf("netsim: non-positive step %v", dt))
 	}
 	start := now - vclock.Time(dt)
@@ -494,7 +520,7 @@ func (n *Network) Step(now vclock.Time, dt time.Duration) {
 	n.dirtyIDs = n.dirtyIDs[:0]
 
 	if n.obs != nil {
-		n.recordStepTelemetry(start, dtSec)
+		n.recordStepTelemetry(start, dtSec) //waspvet:hotalloc observer-gated; returns immediately when telemetry is off
 	}
 
 	// Progress transfers ascending by id (deterministic completion order).
@@ -538,6 +564,8 @@ const transferEps = 1e-9
 // solveLink recomputes one link's fair-share allocation. Claimants are
 // gathered flows-first then transfers, each ascending by registration id —
 // the deterministic tie-break order.
+//
+//waspvet:hotpath
 func (n *Network) solveLink(l *linkState, start vclock.Time, dtSec float64) {
 	l.dirty = false
 	if l.claimantCount() == 0 {
@@ -566,6 +594,8 @@ func (n *Network) solveLink(l *linkState, start vclock.Time, dtSec float64) {
 // activeLinks returns the links with at least one claimant, sorted by
 // (from, to). The slice is cached and rebuilt only after membership
 // changes; telemetry iterates it so float accumulation is replay-stable.
+//
+//waspvet:ordered sorted by (from, to) link key
 func (n *Network) activeLinks() []*linkState {
 	if n.activeDirty {
 		n.activeDirty = false
@@ -623,6 +653,8 @@ func (n *Network) recordStepTelemetry(start vclock.Time, dtSec float64) {
 // retained scratch, valid until the next call. Ties in demand are broken
 // by claimant position (ascending registration ID, since callers gather
 // claimants in sorted-ID order), keeping the allocation deterministic.
+//
+//waspvet:hotpath
 func (n *Network) fairShareInto(capacity float64, cs []claimant) []float64 {
 	alloc := n.sc.alloc[:0]
 	for range cs {
@@ -638,6 +670,7 @@ func (n *Network) fairShareInto(capacity float64, cs []claimant) []float64 {
 		idx = append(idx, i)
 	}
 	n.sc.idx = idx
+	//waspvet:hotalloc non-escaping comparator; SortFunc does not retain it, so it stays on the stack
 	slices.SortFunc(idx, func(a, b int) int {
 		switch {
 		case cs[a].demand < cs[b].demand:

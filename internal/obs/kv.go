@@ -38,9 +38,13 @@ type Val struct {
 func String(k, v string) KV { return KV{Key: k, Val: Val{kind: kindString, str: v}} }
 
 // F64 makes a float attribute.
+//
+//waspvet:hotpath
 func F64(k string, v float64) KV { return KV{Key: k, Val: Val{kind: kindFloat, num: v}} }
 
 // Int makes an integer attribute.
+//
+//waspvet:hotpath
 func Int(k string, v int) KV { return KV{Key: k, Val: Val{kind: kindInt, i: int64(v)}} }
 
 // I64 makes an int64 attribute.

@@ -86,6 +86,8 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 
 // Add increases the counter. Negative deltas are ignored (counters are
 // monotone).
+//
+//waspvet:hotpath
 func (c *Counter) Add(v float64) {
 	if c == nil || v <= 0 {
 		return
@@ -94,6 +96,8 @@ func (c *Counter) Add(v float64) {
 }
 
 // Inc adds 1.
+//
+//waspvet:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the accumulated total.
@@ -127,6 +131,8 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 }
 
 // Set records the current value.
+//
+//waspvet:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -173,6 +179,8 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 }
 
 // Observe records one sample.
+//
+//waspvet:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

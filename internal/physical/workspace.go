@@ -30,6 +30,7 @@ type Workspace struct {
 
 	// lat caches the topology's Latency method value so solveStage does
 	// not allocate a fresh closure per placement program.
+	//waspvet:guardedby latTop
 	lat    func(from, to topology.SiteID) time.Duration
 	latTop *topology.Topology
 }

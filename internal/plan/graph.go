@@ -183,17 +183,25 @@ func (g *Graph) MustConnect(from, to OpID) {
 }
 
 // Downstream returns the IDs of the operators consuming op's output.
+//
+//waspvet:ordered edge-insertion order; plan construction is deterministic
 func (g *Graph) Downstream(id OpID) []OpID { return append([]OpID(nil), g.down[id]...) }
 
 // Upstream returns the IDs of the operators feeding op.
+//
+//waspvet:ordered edge-insertion order; plan construction is deterministic
 func (g *Graph) Upstream(id OpID) []OpID { return append([]OpID(nil), g.up[id]...) }
 
 // DownstreamView is Downstream without the defensive copy. The returned
 // slice aliases graph internals: read-only, valid until the next mutation.
+//
+//waspvet:ordered edge-insertion order; plan construction is deterministic
 func (g *Graph) DownstreamView(id OpID) []OpID { return g.down[id] }
 
 // UpstreamView is Upstream without the defensive copy. The returned slice
 // aliases graph internals: read-only, valid until the next mutation.
+//
+//waspvet:ordered edge-insertion order; plan construction is deterministic
 func (g *Graph) UpstreamView(id OpID) []OpID { return g.up[id] }
 
 // Len returns the number of operators.
@@ -201,6 +209,8 @@ func (g *Graph) Len() int { return len(g.ops) }
 
 // OperatorIDs returns all operator IDs in ascending order. The returned
 // slice is cached; callers must not modify it.
+//
+//waspvet:ordered ascending operator ID (sorted keys)
 func (g *Graph) OperatorIDs() []OpID {
 	if !g.idsValid {
 		g.idsCache = detutil.SortedKeys(g.ops)
@@ -210,9 +220,13 @@ func (g *Graph) OperatorIDs() []OpID {
 }
 
 // Sources returns the IDs of all KindSource operators, ascending.
+//
+//waspvet:ordered ascending operator ID
 func (g *Graph) Sources() []OpID { return g.byKind(KindSource) }
 
 // Sinks returns the IDs of all KindSink operators, ascending.
+//
+//waspvet:ordered ascending operator ID
 func (g *Graph) Sinks() []OpID { return g.byKind(KindSink) }
 
 func (g *Graph) byKind(k Kind) []OpID {

@@ -21,6 +21,8 @@ import (
 type Mbps float64
 
 // BytesPerSec converts a bandwidth to bytes per second.
+//
+//waspvet:hotpath
 func (b Mbps) BytesPerSec() float64 { return float64(b) * 1e6 / 8 }
 
 // MBPerSec converts a bandwidth to megabytes per second.
@@ -120,9 +122,13 @@ func (t *Topology) TotalSlots() int {
 }
 
 // Latency returns the one-way base latency from one site to another.
+//
+//waspvet:hotpath
 func (t *Topology) Latency(from, to SiteID) time.Duration { return t.lat[from][to] }
 
 // BaseBandwidth returns the unloaded capacity of the from→to link.
+//
+//waspvet:hotpath
 func (t *Topology) BaseBandwidth(from, to SiteID) Mbps { return t.bw[from][to] }
 
 // SitesOfKind returns the IDs of all sites of the given kind, ascending.

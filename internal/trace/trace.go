@@ -48,6 +48,8 @@ func Constant(v float64) *Trace {
 }
 
 // At returns the trace value at virtual time t.
+//
+//waspvet:hotpath
 func (tr *Trace) At(t vclock.Time) float64 {
 	// Binary search for the last point with T <= t.
 	lo, hi := 0, len(tr.points)
