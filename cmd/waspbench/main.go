@@ -10,14 +10,19 @@
 //
 // Experiments: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 tab2
 // tab3, the extensions (adaptlat, straggler, ablation-alpha,
-// ablation-monitor, ablation-constraints, chaos), or "all". adaptlat
+// ablation-monitor, ablation-constraints, chaos, scale), or "all". adaptlat
 // sweeps the adaptation cycle's per-phase latency
 // (detect/plan/halt/transfer/resume) across the three queries under the
 // full WASP policy with a mid-run site crash. Figures 8/9 and 11/12 share
 // underlying runs; requesting either member executes the runs once and
 // prints the requested panels. "chaos" sweeps randomized fault schedules
 // over 8 seeds starting at -seed and checks the run-end invariants; its
-// output is byte-identical for the same seeds.
+// output is byte-identical for the same seeds. "scale" runs the planet-scale
+// trajectory sweep — GenerateScale topologies from 16 to 1000 sites with
+// millions of simulated users, hierarchical two-level placement, and a
+// mid-run straggler — printing the deterministic trajectory table; its
+// wall-clock measurements (warm placement-solve ms, ticks/sec per cell)
+// ride the -bench-json metrics map only.
 //
 // -j sets the experiment worker-pool width (default GOMAXPROCS): the
 // cells of each scenario grid run concurrently but results come back in
@@ -31,6 +36,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -42,7 +48,7 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("experiment", "all", "experiment id (fig2..fig14, tab2, tab3, straggler, ablation-*, all)")
+		name      = flag.String("experiment", "all", "experiment id (fig2..fig14, tab2, tab3, straggler, ablation-*, scale, all)")
 		seed      = flag.Int64("seed", 1, "deterministic seed for topology and traces")
 		duration  = flag.Duration("duration", 0, "override run duration (0 = paper default)")
 		workers   = flag.Int("j", 0, "experiment worker-pool width (0 = GOMAXPROCS / WASP_BENCH_PARALLEL)")
@@ -86,6 +92,10 @@ type benchRecord struct {
 	TicksPerSec   float64 `json:"ticks_per_sec,omitempty"`
 	BytesPerTick  float64 `json:"bytes_per_tick,omitempty"`
 	AllocsPerTick float64 `json:"allocs_per_tick,omitempty"`
+	// Metrics carries experiment-specific wall-clock measurements (e.g.
+	// the scale sweep's per-cell placement-solve ms) stashed via
+	// recorder.stash during the run.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // tickDriven reports whether the record measured an engine-driven
@@ -111,6 +121,23 @@ type benchReport struct {
 // clock — it only annotates the bench report.
 type recorder struct {
 	report benchReport
+	// pending holds metrics stashed by the currently-measured experiment;
+	// measure attaches them to the record it appends.
+	pending map[string]float64
+}
+
+// stash files experiment-specific metrics with the record of the
+// experiment currently under measure. A nil recorder discards them.
+func (r *recorder) stash(m map[string]float64) {
+	if r == nil || len(m) == 0 {
+		return
+	}
+	if r.pending == nil {
+		r.pending = make(map[string]float64, len(m))
+	}
+	for k, v := range m {
+		r.pending[k] = v
+	}
 }
 
 func newRecorder(seed int64, duration time.Duration) *recorder {
@@ -147,7 +174,8 @@ func (r *recorder) measure(name string, fn func() error) error {
 	ticks := engine.TickCount() - ticks0
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
-	rec := benchRecord{Experiment: name, WallSeconds: wall, Ticks: ticks}
+	rec := benchRecord{Experiment: name, WallSeconds: wall, Ticks: ticks, Metrics: r.pending}
+	r.pending = nil
 	if wall > 0 && ticks > 0 {
 		rec.TicksPerSec = float64(ticks) / wall
 	}
@@ -195,6 +223,13 @@ func loadBenchReport(path string) (*benchReport, error) {
 		}
 		if e.TicksPerSec != 0 || e.BytesPerTick != 0 || e.AllocsPerTick != 0 {
 			return nil, fmt.Errorf("%s: tickless row %q carries per-tick metrics", path, e.Experiment)
+		}
+	}
+	for _, e := range report.Experiments {
+		for k, v := range e.Metrics {
+			if k == "" || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%s: row %q has invalid metric %q = %v", path, e.Experiment, k, v)
+			}
 		}
 	}
 	return &report, nil
@@ -389,6 +424,20 @@ func run(name string, seed int64, duration time.Duration, rec *recorder) error {
 					return fmt.Errorf("chaos: seed %d violated %d invariant(s)", r.Seed, len(r.Violations))
 				}
 			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if wants("scale") {
+		if err := rec.measure("scale", func() error {
+			cells, err := experiment.RunScale(seed, duration, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatScale(cells))
+			rec.stash(experiment.ScaleMetrics(cells))
 			return nil
 		}); err != nil {
 			return err

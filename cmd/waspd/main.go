@@ -16,6 +16,13 @@
 //	waspd -query topk -policy wasp -chaos-seed 3 -flight -obs-out run.jsonl
 //	waspd -query topk -policy wasp -flight-dump flight.dump
 //	waspd -query topk -policy wasp -v
+//	waspd -query topk -policy wasp -scale-regions 50 -scale-edges 19
+//
+// -scale-regions/-scale-edges replace the testbed with a GenerateScale
+// planet-scale topology (R regions × (1 hub + E edges) per region):
+// sources move to region-fronting ingest sites whose rates derive from
+// the simulated user population (-rate is ignored), and deployments above
+// the hierarchical threshold plan through the two-level placement path.
 //
 // The -obs-out file captures the run's full observability record: the
 // telemetry registry plus the decision-trace timeline (every controller
@@ -81,6 +88,8 @@ type options struct {
 	flight     bool
 	flightDump string
 	verbose    bool
+	scaleReg   int
+	scaleEdges int
 }
 
 // autoFlightDump is where a chaos-invariant failure dumps the flight
@@ -107,6 +116,8 @@ func main() {
 	flag.BoolVar(&opt.flight, "flight", false, "record per-tick engine state into a flight-recorder ring (auto-dumped on chaos invariant failure)")
 	flag.StringVar(&opt.flightDump, "flight-dump", "", "write the flight recording to this file after the run (implies -flight)")
 	flag.BoolVar(&opt.verbose, "v", false, "print the decision audit after the run")
+	flag.IntVar(&opt.scaleReg, "scale-regions", 0, "deploy on a GenerateScale topology with this many regions instead of the §8.2 testbed (requires -scale-edges)")
+	flag.IntVar(&opt.scaleEdges, "scale-edges", 0, "edge sites per region for -scale-regions")
 	flag.Parse()
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "waspd:", err)
@@ -215,6 +226,24 @@ func run(opt options) error {
 		Engine:        experiment.EngineConfig(policy),
 		Adapt:         experiment.AdaptConfig(policy),
 		Obs:           o,
+	}
+	if opt.scaleReg > 0 || opt.scaleEdges > 0 {
+		if opt.scaleReg <= 0 || opt.scaleEdges <= 0 {
+			return fmt.Errorf("-scale-regions and -scale-edges must both be positive (got %d, %d)", opt.scaleReg, opt.scaleEdges)
+		}
+		top, err := topology.GenerateScale(topology.DefaultScaleConfig(opt.seed, opt.scaleReg, opt.scaleEdges))
+		if err != nil {
+			return err
+		}
+		// Region-fronting ingest sites with user-population-derived rates;
+		// above the hierarchical threshold the scheduler and controller
+		// automatically take the two-level placement path.
+		ingest, rate := experiment.IngestPlan(top)
+		sc.Topology = top
+		sc.SourceSites = ingest
+		sc.RateForSite = func(s topology.SiteID) float64 { return rate[s] }
+		fmt.Printf("waspd: planet-scale topology: %d sites (%d regions x %d edges), %d simulated users\n",
+			top.N(), opt.scaleReg, opt.scaleEdges, top.TotalUsers())
 	}
 	if opt.live {
 		sc.PerLinkBandwidth = true

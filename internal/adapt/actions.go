@@ -31,6 +31,8 @@ func (c *Controller) scheduleConfig(rateFactor float64) physical.ScheduleConfig 
 		DefaultParallelism: 1,
 		RateFactor:         rateFactor,
 		Bandwidth:          c.bandwidthNow,
+		Workspace:          &c.ws,
+		HierarchicalSites:  c.cfg.HierarchicalSites,
 	}
 }
 
@@ -227,7 +229,9 @@ func (c *Controller) solveAdditional(id plan.OpID, need, pPrime int, free []int)
 		Bandwidth:         c.bandwidthNow,
 		Pinned:            plan.NoSite,
 	}
-	return placement.Solve(pr)
+	// Same dispatch as the scheduler: exact below the hierarchical
+	// threshold, two-level above it.
+	return c.ws.SolvePlacement(pr, c.top, c.cfg.HierarchicalSites)
 }
 
 // scaleForNetwork scales OUT a network-bound operator: find the smallest

@@ -141,6 +141,11 @@ type ReplanSpec struct {
 	Base    *plan.Graph
 	Spec    *plan.CombineSpec
 	Current *plan.Variant
+	// MaxVariants caps the combine-order search space the re-plan
+	// session enumerates (physical.NewSession); 0 means
+	// physical.DefaultMaxVariants. Planet-scale runs bound it so a
+	// re-plan round stays cheap next to the placement work it feeds.
+	MaxVariants int
 }
 
 // Config parameterises the controller. Zero fields take the paper's
@@ -206,6 +211,12 @@ type Config struct {
 	// this many monitoring rounds — oscillating conditions otherwise flap
 	// state back and forth over the WAN (default 3).
 	ReversalGuardRounds int
+	// HierarchicalSites is passed through to the physical scheduler: the
+	// topology size at which the controller's placement programs switch
+	// to the hierarchical two-level planner. 0 selects
+	// placement.DefaultHierarchicalThreshold; negative forces the exact
+	// solver at every size.
+	HierarchicalSites int
 }
 
 func (c Config) withDefaults() Config {
@@ -268,6 +279,10 @@ type Controller struct {
 	net    *netsim.Network
 	sched  *vclock.Scheduler
 	replan *ReplanSpec
+
+	// ws holds the controller's placement scratch (plus the hierarchical
+	// planner's region cache) reused across every monitoring round.
+	ws physical.Workspace
 
 	// planSession caches the re-plan search space (variant graphs and plan
 	// skeletons) across rounds; built lazily on the first tryReplan.

@@ -28,7 +28,7 @@ func (c *Controller) tryReplan(id plan.OpID, reason string) bool {
 	requireAdmissible := statefulTemplate && c.replan.Spec.Template.Window == 0
 
 	if c.planSession == nil {
-		s, err := physical.NewSession(c.replan.Base, c.replan.Spec, 0)
+		s, err := physical.NewSession(c.replan.Base, c.replan.Spec, c.replan.MaxVariants)
 		if err != nil {
 			c.reject("re-plan", "planner: "+err.Error())
 			return false

@@ -45,13 +45,13 @@ func movableDegraded(res *Result) bool {
 	return false
 }
 
-// crashTargetSite picks the site hosting the busiest movable (non-pinned)
-// operator — the most damaging single-site crash that recovery can
-// actually repair.
-func crashTargetSite(pp *physical.Plan) topology.SiteID {
+// hottestMovable returns the busiest movable (non-pinned, non-terminal)
+// operator and its expected input rate; OpID -1 when every operator is
+// pinned or terminal.
+func hottestMovable(pp *physical.Plan) (plan.OpID, float64) {
 	inRate, _, _, err := pp.Graph.ExpectedRates(1)
 	if err != nil {
-		return 0
+		return -1, 0
 	}
 	bestID := plan.OpID(-1)
 	for _, id := range pp.Graph.OperatorIDs() {
@@ -63,6 +63,17 @@ func crashTargetSite(pp *physical.Plan) topology.SiteID {
 			bestID = id
 		}
 	}
+	if bestID < 0 {
+		return -1, 0
+	}
+	return bestID, inRate[bestID]
+}
+
+// crashTargetSite picks the site hosting the busiest movable (non-pinned)
+// operator — the most damaging single-site crash that recovery can
+// actually repair.
+func crashTargetSite(pp *physical.Plan) topology.SiteID {
+	bestID, _ := hottestMovable(pp)
 	if bestID < 0 {
 		return 0
 	}

@@ -33,6 +33,20 @@ type Scenario struct {
 	Query QueryBuilder
 	// RatePerSource is the initial per-source rate (default 10000 ev/s).
 	RatePerSource float64
+	// Topology, when non-nil, replaces the default §8.2 testbed sample —
+	// the planet-scale experiments run on topology.GenerateScale output.
+	Topology *topology.Topology
+	// SourceSites overrides the query's ingest sites (default: every
+	// Edge site). Planet-scale runs front a bounded ingest set because
+	// plan enumeration is exponential in the source count.
+	SourceSites []topology.SiteID
+	// RateForSite, when non-nil, supplies each ingest site's initial
+	// source rate instead of the flat RatePerSource (e.g. derived from
+	// simulated user populations).
+	RateForSite func(topology.SiteID) float64
+	// ReplanMaxVariants caps the controller's re-plan search space; 0
+	// keeps physical.DefaultMaxVariants.
+	ReplanMaxVariants int
 
 	// Engine and Adapt configure the runtime and the controller.
 	Engine engine.Config
@@ -132,6 +146,9 @@ type Result struct {
 	Obs *obs.Observer
 	// InitialTasks is the task count of the initial deployment.
 	InitialTasks int
+	// Ticks is the number of simulation ticks the engine executed — the
+	// scale sweep's throughput denominator.
+	Ticks int64
 	// Final is the end-of-run invariant state — the conservation balance,
 	// suspended stages, pending adaptations, orphan transfers, and down
 	// sites the chaos checker judges.
@@ -142,7 +159,10 @@ type Result struct {
 func Run(s Scenario) (*Result, error) {
 	sc := s.withDefaults()
 
-	top := topology.Generate(topology.DefaultGenConfig(sc.Seed))
+	top := sc.Topology
+	if top == nil {
+		top = topology.Generate(topology.DefaultGenConfig(sc.Seed))
+	}
 	net := netsim.New(top)
 	sched := vclock.NewScheduler(nil)
 	if sc.Obs != nil {
@@ -167,10 +187,15 @@ func Run(s Scenario) (*Result, error) {
 		}
 	}
 
+	srcSites := sc.SourceSites
+	if srcSites == nil {
+		srcSites = top.SitesOfKind(topology.Edge)
+	}
 	qcfg := queries.Config{
-		SourceSites:   top.SitesOfKind(topology.Edge),
+		SourceSites:   srcSites,
 		SinkSite:      top.SitesOfKind(topology.DataCenter)[0],
 		RatePerSource: sc.RatePerSource,
+		RateForSite:   sc.RateForSite,
 	}
 	q := sc.Query(qcfg)
 	if sc.StateBytes > 0 {
@@ -207,7 +232,7 @@ func Run(s Scenario) (*Result, error) {
 	}
 
 	ctl := adapt.NewController(sc.Adapt, eng, top, net, sched,
-		&adapt.ReplanSpec{Base: q.Graph, Spec: q.Spec, Current: best.Variant})
+		&adapt.ReplanSpec{Base: q.Graph, Spec: q.Spec, Current: best.Variant, MaxVariants: sc.ReplanMaxVariants})
 	if sc.Obs != nil {
 		ctl.SetObserver(sc.Obs)
 	}
@@ -285,6 +310,7 @@ func Run(s Scenario) (*Result, error) {
 		res.ProcessedPct = 100
 	}
 	res.Lost, res.Restored = eng.Lost()
+	res.Ticks = eng.Ticks()
 	res.Actions = ctl.Actions()
 	res.Obs = ctl.Observer()
 	res.Final = finalState(eng, net, res.Obs)

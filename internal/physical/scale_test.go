@@ -1,0 +1,101 @@
+package physical
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wasp-stream/wasp/internal/plan"
+	"github.com/wasp-stream/wasp/internal/topology"
+)
+
+// TestScheduleHierarchicalMatchesExact schedules the same plan over a
+// 100-site region-structured topology through both placement paths: the
+// exact solver (HierarchicalSites < 0) and the hierarchical two-level
+// planner (on by default above placement.DefaultHierarchicalThreshold).
+// The hierarchical path reproduces the exact fill order, so every stage
+// placement must be identical.
+func TestScheduleHierarchicalMatchesExact(t *testing.T) {
+	top, err := topology.GenerateScale(topology.DefaultScaleConfig(11, 10, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.N() != 100 {
+		t.Fatalf("fixture has %d sites, want 100", top.N())
+	}
+
+	build := func() *Plan {
+		g := plan.NewGraph()
+		src := g.AddOperator(plan.Operator{
+			Name: "src", Kind: plan.KindSource, PinnedSite: 1,
+			Selectivity: 1, OutEventBytes: 200, SourceRate: 5000,
+		})
+		mp := g.AddOperator(plan.Operator{
+			Name: "map", Kind: plan.KindMap, Splittable: true,
+			Selectivity: 1, OutEventBytes: 200, CostPerEvent: 1,
+		})
+		// Sink pinned at r4's hub: hubs lead each 10-site region.
+		snk := g.AddOperator(plan.Operator{
+			Name: "sink", Kind: plan.KindSink, PinnedSite: 40,
+		})
+		g.MustConnect(src, mp)
+		g.MustConnect(mp, snk)
+		p, err := FromLogical(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	for _, par := range []int{1, 4, 16} {
+		exact := build()
+		cfgExact := ScheduleConfig{Parallelism: map[plan.OpID]int{1: par}, HierarchicalSites: -1}
+		if err := Schedule(exact, top, cfgExact); err != nil {
+			t.Fatalf("p=%d exact: %v", par, err)
+		}
+		hier := build()
+		cfgHier := ScheduleConfig{Parallelism: map[plan.OpID]int{1: par}}
+		if err := Schedule(hier, top, cfgHier); err != nil {
+			t.Fatalf("p=%d hierarchical: %v", par, err)
+		}
+		for id := range exact.Stages {
+			if !reflect.DeepEqual(exact.Stages[id].Sites, hier.Stages[id].Sites) {
+				t.Fatalf("p=%d stage %d diverges: exact %v, hierarchical %v",
+					par, id, exact.Stages[id].Sites, hier.Stages[id].Sites)
+			}
+		}
+		if err := hier.Validate(top); err != nil {
+			t.Fatalf("p=%d hierarchical plan invalid: %v", par, err)
+		}
+	}
+}
+
+// TestSolvePlacementClusteredFallback exercises the unregioned dispatch
+// path: a testbed topology has no region structure, so the workspace
+// clusters it on demand — and the result must still match the exact
+// solver (forced via a 1-site threshold so the small instance takes the
+// hierarchical path).
+func TestSolvePlacementClusteredFallback(t *testing.T) {
+	top := topology.Generate(topology.DefaultGenConfig(2))
+	g := pipelineGraph(t)
+
+	exact, err := FromLogical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Schedule(exact, top, ScheduleConfig{HierarchicalSites: -1}); err != nil {
+		t.Fatal(err)
+	}
+	hier, err := FromLogical(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Schedule(hier, top, ScheduleConfig{HierarchicalSites: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for id := range exact.Stages {
+		if !reflect.DeepEqual(exact.Stages[id].Sites, hier.Stages[id].Sites) {
+			t.Fatalf("stage %d diverges: exact %v, clustered hierarchical %v",
+				id, exact.Stages[id].Sites, hier.Stages[id].Sites)
+		}
+	}
+}

@@ -30,6 +30,12 @@ type ScheduleConfig struct {
 	// scheduler's per-stage placement programs. Nil means
 	// allocate-per-call.
 	Workspace *Workspace
+	// HierarchicalSites is the topology size at which per-stage placement
+	// switches from the exact solver to the hierarchical two-level
+	// planner (placement.SolveHierarchical). 0 selects
+	// placement.DefaultHierarchicalThreshold; negative forces the exact
+	// solver at every size.
+	HierarchicalSites int
 }
 
 func (cfg *ScheduleConfig) withDefaults(top *topology.Topology) ScheduleConfig {
@@ -176,7 +182,7 @@ func solveStage(
 		Conservative:      cfg.Conservative,
 		Pinned:            pinned,
 	}
-	return ws.pr.SolveInto(&ws.sol)
+	return ws.SolvePlacement(&ws.pr, top, cfg.HierarchicalSites)
 }
 
 // appendPlacement converts p[s] counts into a site list appended to dst,

@@ -161,41 +161,50 @@ func (pr *Problem) upperBoundsInto(buf []int) ([]int, error) {
 		ub = ub[:pr.Sites]
 	}
 	for s := 0; s < pr.Sites; s++ {
-		site := topology.SiteID(s)
-		bound := pr.AvailableSlots[s]
-		if pr.Pinned >= 0 && site != pr.Pinned {
-			ub[s] = 0
-			continue
-		}
-		// Inbound constraints (2): for each upstream endpoint u ≠ s.
-		for _, u := range pr.Upstream {
-			if u.Site == site {
-				continue
-			}
-			rate := pr.InputBytesPerSec
-			if !pr.Conservative {
-				rate *= u.Weight
-			}
-			bound = min(bound, linkBound(rate, pr.Alpha*pr.Bandwidth(u.Site, site), p))
-		}
-		// Outbound constraints (3): for each downstream endpoint d ≠ s.
-		for _, d := range pr.Downstream {
-			if d.Site == site {
-				continue
-			}
-			rate := pr.OutputBytesPerSec
-			if !pr.Conservative {
-				rate *= d.Weight
-			}
-			bound = min(bound, linkBound(rate, pr.Alpha*pr.Bandwidth(site, d.Site), p))
-		}
-		ub[s] = max(bound, 0)
+		ub[s] = pr.siteBound(topology.SiteID(s), p)
 	}
 	return ub, nil
 }
 
+// siteBound is the per-site upper bound implied by the slot and bandwidth
+// constraints, evaluated with parallelism p for the bandwidth shares. It
+// is the shared kernel of the flat and hierarchical solvers.
+//
+//waspvet:hotpath
+func (pr *Problem) siteBound(site topology.SiteID, p float64) int {
+	if pr.Pinned >= 0 && site != pr.Pinned {
+		return 0
+	}
+	bound := pr.AvailableSlots[site]
+	// Inbound constraints (2): for each upstream endpoint u ≠ s.
+	for _, u := range pr.Upstream {
+		if u.Site == site {
+			continue
+		}
+		rate := pr.InputBytesPerSec
+		if !pr.Conservative {
+			rate *= u.Weight
+		}
+		bound = min(bound, linkBound(rate, pr.Alpha*pr.Bandwidth(u.Site, site), p)) //waspvet:hotalloc Bandwidth is a func field; callers install non-escaping hooks
+	}
+	// Outbound constraints (3): for each downstream endpoint d ≠ s.
+	for _, d := range pr.Downstream {
+		if d.Site == site {
+			continue
+		}
+		rate := pr.OutputBytesPerSec
+		if !pr.Conservative {
+			rate *= d.Weight
+		}
+		bound = min(bound, linkBound(rate, pr.Alpha*pr.Bandwidth(site, d.Site), p)) //waspvet:hotalloc Bandwidth is a func field; callers install non-escaping hooks
+	}
+	return max(bound, 0)
+}
+
 // linkBound returns the largest integer x satisfying (x/p)·rate < capacity
 // (strict, per the paper), or p when the constraint never binds.
+//
+//waspvet:hotpath
 func linkBound(rate, capacity, p float64) int {
 	if rate <= 0 {
 		return int(p)
@@ -204,20 +213,34 @@ func linkBound(rate, capacity, p float64) int {
 		return 0
 	}
 	bound := p * capacity / rate
+	if bound >= 1e15 {
+		// Effectively unconstrained: the relative epsilon below is
+		// meaningless past 2^53, and planet-scale instances pair
+		// near-zero rates with fat intra-site links, driving `bound`
+		// past 2^63 where the float→int conversion is
+		// implementation-defined. 1e15 still dominates any slot count it
+		// is min-ed against, and sums safely in MaxFeasibleParallelism.
+		return int(1e15)
+	}
 	// Largest integer strictly below `bound`: floor for fractional bounds,
 	// bound-1 for integral ones (the constraint is a strict inequality).
-	return int(math.Ceil(bound-1e-9)) - 1
+	// The epsilon is relative (cf. the PR 7 transfer-epsilon fix): an
+	// absolute 1e-9 vanishes below the float64 ulp once bounds reach ~1e7,
+	// so exactly-integral huge bounds would misround to x instead of x-1.
+	return int(math.Ceil(bound-bound*1e-9)) - 1
 }
 
 // CostPerTask returns the objective coefficient for placing one task at
 // site s: the weighted upstream + downstream latency, in seconds.
+//
+//waspvet:hotpath
 func (pr *Problem) CostPerTask(s topology.SiteID) float64 {
 	var c float64
 	for _, u := range pr.Upstream {
-		c += u.Weight * pr.Latency(u.Site, s).Seconds()
+		c += u.Weight * pr.Latency(u.Site, s).Seconds() //waspvet:hotalloc Latency is a func field; callers install non-escaping hooks
 	}
 	for _, d := range pr.Downstream {
-		c += d.Weight * pr.Latency(s, d.Site).Seconds()
+		c += d.Weight * pr.Latency(s, d.Site).Seconds() //waspvet:hotalloc Latency is a func field; callers install non-escaping hooks
 	}
 	return c
 }

@@ -52,6 +52,10 @@ type Config struct {
 	// RatePerSource is the initial per-source event rate (paper: 10000
 	// events/s, §8.4).
 	RatePerSource float64
+	// RateForSite, when non-nil, supplies each source site's initial
+	// rate instead of the flat RatePerSource — planet-scale topologies
+	// derive it from the site's simulated user population.
+	RateForSite func(topology.SiteID) float64
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +63,14 @@ func (c Config) withDefaults() Config {
 		c.RatePerSource = 10000
 	}
 	return c
+}
+
+// rateFor returns the initial source rate for one site.
+func (c Config) rateFor(site topology.SiteID) float64 {
+	if c.RateForSite != nil {
+		return c.RateForSite(site)
+	}
+	return c.RatePerSource
 }
 
 // YSBCampaign builds the YSB Advertising Campaign query: per-site
@@ -75,7 +87,7 @@ func YSBCampaign(cfg Config) *Query {
 	for _, site := range c.SourceSites {
 		src := g.AddOperator(plan.Operator{
 			Name: "ysb-src", Kind: plan.KindSource, PinnedSite: site,
-			Selectivity: 1, OutEventBytes: 180, SourceRate: c.RatePerSource,
+			Selectivity: 1, OutEventBytes: 180, SourceRate: c.rateFor(site),
 		})
 		// filter(view) → project → join(campaign) chained into one task
 		// (stateless operator chaining, as Flink does): σ = 1/3 views,
@@ -125,7 +137,7 @@ func TopKTopics(cfg Config) *Query {
 	for _, site := range c.SourceSites {
 		src := g.AddOperator(plan.Operator{
 			Name: "tweet-src", Kind: plan.KindSource, PinnedSite: site,
-			Selectivity: 1, OutEventBytes: 240, SourceRate: c.RatePerSource,
+			Selectivity: 1, OutEventBytes: 240, SourceRate: c.rateFor(site),
 		})
 		// filter(geo-tagged) → map(extract topic) chained into one task:
 		// σ = 0.9, compact 24 B (country, topic) tuples.
@@ -181,7 +193,7 @@ func EventsOfInterest(cfg Config) *Query {
 	for _, site := range c.SourceSites {
 		src := g.AddOperator(plan.Operator{
 			Name: "tweet-src", Kind: plan.KindSource, PinnedSite: site,
-			Selectivity: 1, OutEventBytes: 240, SourceRate: c.RatePerSource,
+			Selectivity: 1, OutEventBytes: 240, SourceRate: c.rateFor(site),
 		})
 		// filter(attributes) → project chained into one task: σ = 0.1,
 		// 96 B projected tuples.

@@ -59,7 +59,16 @@ type Site struct {
 	Name  string
 	Kind  SiteKind
 	Slots int // computing slots provided by the site's Task Manager
+	// Users is the simulated user population behind the site (edge sites
+	// of planet-scale topologies; zero for the §8.2 testbed). Source
+	// rates of scale scenarios derive from it.
+	Users int
 }
+
+// RegionID identifies a site cluster within a regioned topology (dense,
+// 0-based). The hierarchical placement planner solves a region-level
+// program before refining within each chosen region.
+type RegionID int
 
 // Topology is an immutable description of sites and base (unloaded) WAN
 // link properties. Directional: bandwidth/latency from s1 to s2 may differ
@@ -68,6 +77,11 @@ type Topology struct {
 	sites []Site
 	lat   [][]time.Duration // lat[from][to]
 	bw    [][]Mbps          // bw[from][to], base capacity
+
+	// Region partition (planet-scale topologies only; nil when the
+	// topology is unregioned, e.g. the §8.2 testbed).
+	regionOf []RegionID
+	regions  [][]SiteID // region -> member sites, ascending
 }
 
 // New assembles a topology from explicit matrices. Both matrices must be
@@ -96,8 +110,73 @@ func New(sites []Site, lat [][]time.Duration, bw [][]Mbps) (*Topology, error) {
 	return &Topology{sites: sites, lat: lat, bw: bw}, nil
 }
 
+// NewRegioned is New for topologies carrying a region partition: regionOf
+// assigns every site to a dense region ID and every region must be
+// non-empty. The hierarchical placement planner consumes the partition via
+// RegionSites.
+func NewRegioned(sites []Site, lat [][]time.Duration, bw [][]Mbps, regionOf []RegionID) (*Topology, error) {
+	t, err := New(sites, lat, bw)
+	if err != nil {
+		return nil, err
+	}
+	if len(regionOf) != len(sites) {
+		return nil, fmt.Errorf("topology: %d region assignments for %d sites", len(regionOf), len(sites))
+	}
+	nRegions := 0
+	for i, r := range regionOf {
+		if r < 0 {
+			return nil, fmt.Errorf("topology: site %d has negative region %d", i, r)
+		}
+		if int(r)+1 > nRegions {
+			nRegions = int(r) + 1
+		}
+	}
+	regions := make([][]SiteID, nRegions)
+	for i, r := range regionOf {
+		regions[r] = append(regions[r], SiteID(i))
+	}
+	for r, members := range regions {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("topology: region %d is empty (IDs must be dense)", r)
+		}
+	}
+	t.regionOf = append([]RegionID(nil), regionOf...)
+	t.regions = regions
+	return t, nil
+}
+
 // N returns the number of sites.
 func (t *Topology) N() int { return len(t.sites) }
+
+// NumRegions returns the number of regions of the partition, or 0 when
+// the topology is unregioned.
+func (t *Topology) NumRegions() int { return len(t.regions) }
+
+// RegionOf returns the region hosting site id, or -1 when the topology is
+// unregioned.
+func (t *Topology) RegionOf(id SiteID) RegionID {
+	if t.regionOf == nil {
+		return -1
+	}
+	return t.regionOf[id]
+}
+
+// RegionSites returns the region partition as per-region member lists
+// (ascending site IDs; the first member of a generated region is its hub),
+// or nil when the topology is unregioned. The returned slices are shared
+// and must not be mutated.
+//
+//waspvet:ordered regions ascend by region index, members by site ID
+func (t *Topology) RegionSites() [][]SiteID { return t.regions }
+
+// TotalUsers returns the total simulated user population across sites.
+func (t *Topology) TotalUsers() int {
+	total := 0
+	for _, s := range t.sites {
+		total += s.Users
+	}
+	return total
+}
 
 // Sites returns a copy of the site list.
 func (t *Topology) Sites() []Site {
