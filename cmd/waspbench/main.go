@@ -10,14 +10,19 @@
 //
 // Experiments: fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 tab2
 // tab3, the extensions (adaptlat, straggler, ablation-alpha,
-// ablation-monitor, ablation-constraints, chaos, scale), or "all". adaptlat
+// ablation-monitor, ablation-constraints, chaos, ctrlchaos, scale), or
+// "all". adaptlat
 // sweeps the adaptation cycle's per-phase latency
 // (detect/plan/halt/transfer/resume) across the three queries under the
 // full WASP policy with a mid-run site crash. Figures 8/9 and 11/12 share
 // underlying runs; requesting either member executes the runs once and
 // prints the requested panels. "chaos" sweeps randomized fault schedules
 // over 8 seeds starting at -seed and checks the run-end invariants; its
-// output is byte-identical for the same seeds. "scale" runs the planet-scale
+// output is byte-identical for the same seeds. "ctrlchaos" degrades the
+// control plane instead of the data plane — a telemetry-loss × partition
+// grid plus randomized mixed data+control schedules, judged by the
+// extended invariant set; it never runs under "all" (every "all"
+// experiment keeps the ideal controller). "scale" runs the planet-scale
 // trajectory sweep — GenerateScale topologies from 16 to 1000 sites with
 // millions of simulated users, hierarchical two-level placement, and a
 // mid-run straggler — printing the deterministic trajectory table; its
@@ -422,6 +427,32 @@ func run(name string, seed int64, duration time.Duration, rec *recorder) error {
 			for _, r := range runs {
 				if len(r.Violations) > 0 {
 					return fmt.Errorf("chaos: seed %d violated %d invariant(s)", r.Seed, len(r.Violations))
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		ran = true
+	}
+	// ctrlchaos runs only when asked for by name: it is the one experiment
+	// with a non-ideal control plane, and "all" must stay byte-identical
+	// to the ideal-controller output it has always produced.
+	if name == "ctrlchaos" {
+		if err := rec.measure("ctrlchaos", func() error {
+			res, err := experiment.RunCtrlChaos(seed, 8, duration)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiment.FormatCtrlChaos(res))
+			for _, c := range res.Cells {
+				if len(c.Violations) > 0 {
+					return fmt.Errorf("ctrlchaos: cell loss=%v part=%v violated %d invariant(s)", c.LossRate, c.PartitionFor, len(c.Violations))
+				}
+			}
+			for _, r := range res.Runs {
+				if len(r.Violations) > 0 {
+					return fmt.Errorf("ctrlchaos: seed %d violated %d invariant(s)", r.Seed, len(r.Violations))
 				}
 			}
 			return nil

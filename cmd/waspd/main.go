@@ -45,6 +45,13 @@
 // crash the controller re-places the dead tasks and restores their state
 // from the freshest surviving replica, so at most one checkpoint interval
 // of state is lost.
+//
+// -ctrl routes site telemetry and controller commands over the simulated
+// WAN instead of the ideal in-process channel: reports age by link
+// latency, the controller gates diagnosis on evidence staleness, silent
+// regions are quarantined and epoch-fenced on re-admission. The flag is
+// implied by any control-plane fault in -fault (ctrldown, telemloss,
+// ctrldelay) and widens -chaos-seed schedules with those kinds.
 package main
 
 import (
@@ -59,6 +66,7 @@ import (
 
 	"github.com/wasp-stream/wasp/internal/adapt"
 	"github.com/wasp-stream/wasp/internal/chaos"
+	"github.com/wasp-stream/wasp/internal/ctrlplane"
 	"github.com/wasp-stream/wasp/internal/experiment"
 	"github.com/wasp-stream/wasp/internal/faults"
 	"github.com/wasp-stream/wasp/internal/obs"
@@ -81,6 +89,7 @@ type options struct {
 	failAt     time.Duration
 	failFor    time.Duration
 	faults     string
+	ctrl       bool
 	chaosSeed  int64
 	ckptEvery  time.Duration
 	obsOut     string
@@ -109,6 +118,7 @@ func main() {
 	flag.DurationVar(&opt.failAt, "fail-at", 0, "inject a full failure at this time (0 = none)")
 	flag.DurationVar(&opt.failFor, "fail-for", time.Minute, "failure outage length")
 	flag.StringVar(&opt.faults, "fault", "", "partial-fault script, e.g. \"crash@5m:site=3,for=2m; slow@8m:site=1,factor=0.5,for=1m\"")
+	flag.BoolVar(&opt.ctrl, "ctrl", false, "route telemetry and controller commands over the simulated WAN control plane (auto-enabled by control-plane faults)")
 	flag.Int64Var(&opt.chaosSeed, "chaos-seed", 0, "generate a randomized fault schedule from this seed and check run-end invariants (0 = off)")
 	flag.DurationVar(&opt.ckptEvery, "checkpoint-every", 0, "checkpoint interval for crash recovery (0 = no checkpointing)")
 	flag.StringVar(&opt.obsOut, "obs-out", "", "write the observability record to this file (\"-\" = stdout)")
@@ -205,6 +215,11 @@ func run(opt options) error {
 	if err != nil {
 		return fmt.Errorf("-fault: %w", err)
 	}
+	// Control-plane faults only make sense against an impaired control
+	// plane, so a ctrldown/telemloss/ctrldelay script implies -ctrl.
+	if faults.HasControlFaults(fs) {
+		opt.ctrl = true
+	}
 
 	// One observer shared by the engine, the network simulator and the
 	// controller: the run's metrics, decision spans and action log all
@@ -268,12 +283,25 @@ func run(opt options) error {
 	}
 	sc.Faults = fs
 	sc.CheckpointEvery = opt.ckptEvery
+	if opt.ctrl {
+		// Defaults: telemetry every 10s over the simulated WAN, 45s
+		// staleness gate, 60s silence before quarantine. The controller
+		// site defaults to the scenario's sink.
+		sc.Ctrl = &ctrlplane.Config{}
+	}
 	if opt.chaosSeed != 0 {
 		sc.FaultsFor = func(_ *physical.Plan, top *topology.Topology) []faults.Fault {
-			schedule := chaos.Generate(opt.chaosSeed, chaos.Config{
+			ccfg := chaos.Config{
 				Sites:    top.N(),
 				Duration: opt.duration,
-			})
+			}
+			if opt.ctrl {
+				// Widen the fault mix with control-plane kinds; the
+				// region count must match what the plane will use so
+				// ctrldown targets resolve to real regions.
+				ccfg.CtrlRegions = len(ctrlplane.Domains(top, ctrlplane.Config{}))
+			}
+			schedule := chaos.Generate(opt.chaosSeed, ccfg)
 			fmt.Printf("chaos schedule (seed %d): %s\n", opt.chaosSeed, experiment.FaultScript(schedule))
 			return schedule
 		}

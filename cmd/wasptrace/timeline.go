@@ -21,6 +21,11 @@ var timelineLanes = []lane{
 	{"actions", map[string]byte{"action": 'A'}},
 	{"adapt", map[string]byte{"adapt.abort": 'x', "adapt.retry": 'r', "adapt.rollback": 'R'}},
 	{"recovery", map[string]byte{"recovery.detected": 'd', "recovery.complete": 'C', "recovery.degraded": 'g'}},
+	{"ctrl", map[string]byte{
+		"ctrl.command": 'c', "ctrl.command_acked": 'a', "ctrl.command_retry": 't',
+		"ctrl.command_timeout": 'T', "ctrl.command_fenced": 'e', "ctrl.command_failed": 'X',
+		"ctrl.quarantine": 'Q', "ctrl.readmit": 'q',
+	}},
 	{"faults", map[string]byte{
 		"fault.site_crash": 'F', "fault.site_restore": 'h', "fault.link_down": 'F',
 		"fault.link_restore": 'h', "fault.link_degrade": 'f', "fault.straggle": 'f',
@@ -38,6 +43,8 @@ var detailNames = map[string]bool{
 	"fault.link_restore": true, "fault.link_degrade": true, "fault.straggle": true,
 	"fault.inject": true, "fault.heal": true, "engine.fail": true,
 	"chaos.violation": true, "engine.reconfigure_aborted": true, "engine.replan_aborted": true,
+	"ctrl.quarantine": true, "ctrl.readmit": true, "ctrl.command_timeout": true,
+	"ctrl.command_fenced": true, "ctrl.command_failed": true,
 }
 
 func cmdTimeline(args []string) error {
@@ -129,6 +136,7 @@ func renderGantt(entries []entry, width int) error {
 	fmt.Printf("%-*s  0%s%s\n\n", labelW, "", strings.Repeat(" ", width-len(fmtSeconds(end))), fmtSeconds(end))
 	fmt.Println("marks: | round  A action  x abort  r retry  R rollback  d crash-detected")
 	fmt.Println("       C recovery-complete  g degraded  F fault  f slow  h heal  ! violation")
+	fmt.Println("       c command  a ack  t resend  T timeout  e fenced  X failed  Q quarantine  q readmit")
 
 	// Chronology of the notable events.
 	var rows [][]string

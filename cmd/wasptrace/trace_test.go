@@ -42,6 +42,20 @@ func fixtureJSONL(t *testing.T) string {
 	now = 160 * time.Second
 	o.Emit("chaos.violation", obs.String("invariant", "conservation"), obs.String("detail", "residual 12.0"))
 
+	// A degraded-control-plane episode: command in flight, one resend,
+	// region quarantined on silence, then re-admitted with an epoch bump
+	// that fences the stale retry.
+	now = 180 * time.Second
+	o.Emit("ctrl.command", obs.Int("cmd", 1), obs.String("op", "reassign"), obs.Int("target", 2), obs.Int("epoch", 1))
+	now = 210 * time.Second
+	o.Emit("ctrl.command_timeout", obs.Int("cmd", 1), obs.Int("attempt", 1))
+	o.Emit("ctrl.command_retry", obs.Int("cmd", 1), obs.Int("attempt", 2))
+	now = 250 * time.Second
+	o.Emit("ctrl.quarantine", obs.Int("region", 1), obs.Dur("silence", 70*time.Second))
+	now = 300 * time.Second
+	o.Emit("ctrl.readmit", obs.Int("region", 1), obs.Int("epoch", 2))
+	o.Emit("ctrl.command_fenced", obs.Int("cmd", 1), obs.Int("epoch", 1), obs.Int("current", 2))
+
 	var buf bytes.Buffer
 	if err := o.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
@@ -138,9 +152,18 @@ func TestTimelineJSONLDeterministicAndComplete(t *testing.T) {
 	if a != b {
 		t.Fatalf("timeline output not deterministic:\n%s\n----\n%s", a, b)
 	}
-	for _, want := range []string{"rounds", "actions", "fault.site_crash", "chaos.violation", "recovery.detected", "kind=scale-out"} {
+	for _, want := range []string{"rounds", "actions", "fault.site_crash", "chaos.violation", "recovery.detected", "kind=scale-out",
+		"ctrl", "ctrl.quarantine", "ctrl.readmit", "ctrl.command_timeout", "ctrl.command_fenced", "Q quarantine"} {
 		if !strings.Contains(a, want) {
 			t.Errorf("timeline output missing %q:\n%s", want, a)
+		}
+	}
+	// The ctrl lane itself must carry marks: 6 ctrl events land in it.
+	for _, line := range strings.Split(a, "\n") {
+		if strings.HasPrefix(line, "ctrl ") {
+			if !strings.Contains(line, "Q") || !strings.Contains(line, "(6)") {
+				t.Errorf("ctrl lane missing marks: %q", line)
+			}
 		}
 	}
 }

@@ -54,7 +54,7 @@ func (c *Controller) measuredRateFactor(snap *metrics.Snapshot) float64 {
 // freeSlotsPlusOwn returns free slots per site counting the operator's own
 // tasks as available (they may be re-placed).
 func (c *Controller) freeSlotsPlusOwn(id plan.OpID) []int {
-	free := c.eng.FreeSlots()
+	free := c.freeSlots()
 	for _, site := range c.eng.Plan().Stages[id].Sites {
 		free[site]++
 	}
@@ -160,7 +160,7 @@ func (c *Controller) placeScaleUp(id plan.OpID, pPrime int) ([]topology.SiteID, 
 	st := c.eng.Plan().Stages[id]
 	newSites := append([]topology.SiteID(nil), st.Sites...)
 	need := pPrime - len(newSites)
-	free := c.eng.FreeSlots()
+	free := c.freeSlots()
 
 	for _, site := range st.DistinctSites() {
 		for need > 0 && free[site] > 0 {
@@ -247,7 +247,7 @@ func (c *Controller) scaleForNetwork(id plan.OpID, expectedIn map[plan.OpID]floa
 		return false
 	}
 	cur := c.eng.Plan().Stages[id].Sites
-	free := c.eng.FreeSlots()
+	free := c.freeSlots()
 	for pPrime := p + 1; pPrime <= c.cfg.PMax; pPrime++ {
 		// Additive: keep the current tasks, place the extra ones.
 		if pl, err := c.solveAdditional(id, pPrime-p, pPrime, free); err == nil {
@@ -360,6 +360,9 @@ func (c *Controller) maybeScaleDown(now vclock.Time, snap *metrics.Snapshot, exp
 		}
 		if _, _, held := c.heldDown(id, now); held {
 			continue // backing off or cooling down; reclaim next round
+		}
+		if _, _, gated := c.ctrlGated(id, now); gated {
+			continue // no reclaiming on stale or quarantined evidence
 		}
 		newSites, ok := c.chooseScaleDown(id)
 		if !ok {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/ctrlplane"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/metrics"
 	"github.com/wasp-stream/wasp/internal/netsim"
@@ -316,6 +317,10 @@ type Controller struct {
 	detectAt    map[plan.OpID]vclock.Time
 	awaitResume map[plan.OpID]vclock.Time
 
+	// plane, when non-nil, routes telemetry and commands over the
+	// simulated WAN control plane (ctrl.go). Nil keeps the ideal model.
+	plane *ctrlplane.Plane
+
 	obs      *obs.Observer
 	decision *obs.Span
 }
@@ -381,6 +386,10 @@ func (c *Controller) LongTermRound(now vclock.Time) {
 			sp.Event("skip", obs.String("reason", "reconfiguration in flight"), obs.Int("op", int(id)))
 			return
 		}
+		if c.commandInFlight(id) {
+			sp.Event("skip", obs.String("reason", "command in flight"), obs.Int("op", int(id)))
+			return
+		}
 	}
 	c.tryReplan(g.OperatorIDs()[0], "long-term background re-evaluation")
 }
@@ -413,7 +422,7 @@ func (c *Controller) record(kind ActionKind, op plan.OpID, detail string) {
 // Round runs one monitoring + adaptation round (normally driven by the
 // internal ticker; exported for tests and manual stepping).
 func (c *Controller) Round(now vclock.Time) {
-	snap := c.eng.Sample()
+	snap := c.sampleSnapshot(now)
 	if c.cfg.Policy == PolicyNone || c.cfg.Policy == PolicyDegrade {
 		return
 	}
@@ -448,6 +457,10 @@ func (c *Controller) Round(now vclock.Time) {
 	for _, id := range g.OperatorIDs() {
 		if c.eng.Reconfiguring(id) {
 			round.Event("skip", obs.String("reason", "reconfiguration in flight"), obs.Int("op", int(id)))
+			return
+		}
+		if c.commandInFlight(id) {
+			round.Event("skip", obs.String("reason", "command in flight"), obs.Int("op", int(id)))
 			return
 		}
 	}
@@ -489,6 +502,10 @@ func (c *Controller) adaptBottleneck(now vclock.Time, snap *metrics.Snapshot, ex
 		c.noteDetect(id, now)
 		if branch, reason, held := c.heldDown(id, now); held {
 			c.reject(branch, reason, obs.Int("op", int(id)))
+			continue
+		}
+		if branch, reason, gated := c.ctrlGated(id, now); gated {
+			c.rejectGated(id, branch, reason)
 			continue
 		}
 		return c.act(now, id, cond, snap, expectedIn)

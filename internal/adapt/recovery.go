@@ -245,6 +245,9 @@ func (c *Controller) RecoverDownSites() {
 		if c.eng.Reconfiguring(id) {
 			continue // recovery (or another adaptation) already in flight
 		}
+		if c.commandInFlight(id) {
+			continue // an actuation command is still traveling the control plane
+		}
 		if held, until := c.retryHeld(id, c.sched.Now()); held {
 			// Aborted recovery attempts back off exponentially; the Round
 			// backstop re-enters here once the ledger clears. Cooldown does
@@ -308,6 +311,19 @@ func (c *Controller) recoverStage(id plan.OpID, lost int, down []topology.SiteID
 		}
 	}
 
+	// A crash inside a quarantined region cannot be recovered yet: the
+	// controller can neither command the survivors there nor trust its
+	// picture of the region. Defer — the Round backstop re-enters this
+	// ladder every round and proceeds once the region is re-admitted.
+	if c.plane != nil {
+		if r, q := c.plane.QuarantinedRegionOf(uniqueSites(st.Sites)); q {
+			c.degradeStage(id, "quarantine-deferred",
+				fmt.Sprintf("region %d quarantined; recovery deferred until re-admission", r))
+			c.endDecision(false)
+			return false
+		}
+	}
+
 	// Rung 1: replace the lost tasks on live sites — all of them if slots
 	// allow, otherwise as many as fit. FreeSlots already reports zero for
 	// down sites, so the placement program cannot pick them.
@@ -317,7 +333,7 @@ func (c *Controller) recoverStage(id plan.OpID, lost int, down []topology.SiteID
 	var newSites []topology.SiteID
 	placed := 0
 	for k := lost; k >= 1; k-- {
-		pl, err := c.solveAdditional(id, k, len(survivors)+k, c.eng.FreeSlots())
+		pl, err := c.solveAdditional(id, k, len(survivors)+k, c.freeSlots())
 		if err != nil {
 			c.reject("re-assign", fmt.Sprintf("no placement for %d replacement tasks: %v", k, err))
 			continue

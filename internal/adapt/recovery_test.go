@@ -1,9 +1,11 @@
 package adapt
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"github.com/wasp-stream/wasp/internal/ctrlplane"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/netsim"
 	"github.com/wasp-stream/wasp/internal/physical"
@@ -196,5 +198,72 @@ func TestRecoveryWithoutCheckpointsStillReplaces(t *testing.T) {
 	_, restored := tb.eng.Lost()
 	if restored != 0 {
 		t.Fatalf("restored %v state without any checkpoints", restored)
+	}
+}
+
+// A crash inside a quarantined region must defer down the ladder — the
+// controller can neither command the region's survivors nor trust its
+// view of it — and then recover normally once the region is re-admitted.
+func TestRecoveryDefersInQuarantinedRegionThenProceeds(t *testing.T) {
+	tb, _ := recoveryBed(t, 8, 30*time.Second)
+	agg := tb.ids[1]
+
+	// Impaired control plane over the same rig: one quarantine domain per
+	// site (Regions: 4), controller co-located with the sink on site 3.
+	plane := ctrlplane.New(ctrlplane.Config{
+		ControllerSite: 3,
+		Regions:        4,
+		ReportEvery:    10 * time.Second,
+		PartitionAfter: 30 * time.Second,
+	}, tb.eng, tb.net, tb.top, tb.sched, tb.ctl.Observer())
+	tb.ctl.AttachControlPlane(plane)
+	plane.Start()
+	region := plane.RegionOfSite(1)
+
+	// t=100s: region of site 1 loses its control link. Quarantined once
+	// its silence passes 30s (the t=160s monitoring round).
+	tb.sched.At(100*time.Second, func(vclock.Time) { plane.SetRegionPartition(region, true) })
+	// t=200s: site 1 crashes inside the quarantined region.
+	crashAt(tb, 200*time.Second, 1)
+	tb.run(t, 240*time.Second)
+
+	if !plane.SiteQuarantined(1) {
+		t.Fatal("region of site 1 not quarantined before the crash")
+	}
+	if hasKind(tb.ctl.Actions(), ActionRecover) {
+		t.Fatalf("recovered into a quarantined region; actions = %v", kinds(tb.ctl.Actions()))
+	}
+	deferred := tb.ctl.Observer().Events("recovery.degraded")
+	if len(deferred) == 0 {
+		t.Fatal("no recovery.degraded event for the deferred crash")
+	}
+	if rung := deferred[0].Get("rung").Str(); rung != "quarantine-deferred" {
+		t.Fatalf("degrade rung = %q; want quarantine-deferred", rung)
+	}
+	if reason := deferred[0].Get("reason").Str(); !strings.Contains(reason, "quarantined") {
+		t.Fatalf("degrade reason %q does not name the quarantine", reason)
+	}
+
+	// t=250s: the control link heals; heartbeats resume, the region is
+	// re-admitted, and the Round backstop re-enters the ladder.
+	tb.sched.At(250*time.Second, func(vclock.Time) { plane.SetRegionPartition(region, false) })
+	tb.run(t, 400*time.Second)
+
+	if len(tb.ctl.Observer().Events("ctrl.readmit")) == 0 {
+		t.Fatal("no ctrl.readmit event after the control link healed")
+	}
+	if got := plane.QuarantinedRegions(); len(got) != 0 {
+		t.Fatalf("regions still quarantined at end: %v", got)
+	}
+	if !hasKind(tb.ctl.Actions(), ActionRecover) {
+		t.Fatalf("no recovery after re-admission; actions = %v", kinds(tb.ctl.Actions()))
+	}
+	for _, s := range tb.eng.Plan().Stages[agg].Sites {
+		if s == 1 {
+			t.Fatalf("aggregate still at the dead site: %v", tb.eng.Plan().Stages[agg].Sites)
+		}
+	}
+	if n := plane.UnackedCommands(); n != 0 {
+		t.Fatalf("UnackedCommands() = %d at end; want 0", n)
 	}
 }

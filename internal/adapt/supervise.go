@@ -32,6 +32,9 @@ type retryState struct {
 // recovery and diagnosis (both of which skip reconfiguring operators and
 // would otherwise wait on a transfer that can never finish).
 func (c *Controller) superviseInFlight(now vclock.Time) {
+	// Command-channel supervision first: a command the plane just gave up
+	// on frees its operator for this round's recovery or diagnosis pass.
+	c.superviseCommands(now)
 	stall := vclock.Time(c.cfg.StallAfter)
 	for _, st := range c.eng.ReconfigStatuses(stall) {
 		if !st.Doomed && !st.Stalled {
@@ -143,7 +146,16 @@ func (c *Controller) reconfigure(id plan.OpID, newSites []topology.SiteID, migs 
 			onDone(doneAt)
 		}
 	}
-	return c.eng.Reconfigure(id, newSites, migs, wrapped)
+	if c.plane == nil {
+		return c.eng.Reconfigure(id, newSites, migs, wrapped)
+	}
+	// Impaired mode: the actuation is a command that must reach the new
+	// placement's coordination site before the engine acts. SendCommand
+	// returning nil only means "launched" — application happens at
+	// delivery (if ever), and the ack timeout path feeds noteAborted.
+	return c.plane.SendCommand(id, "reconfigure", uniqueSites(newSites), func() error {
+		return c.eng.Reconfigure(id, newSites, migs, wrapped)
+	})
 }
 
 // noteCompleted stamps the anti-flap state for one finished action.

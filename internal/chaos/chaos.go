@@ -23,6 +23,12 @@ type Config struct {
 	Duration time.Duration
 	// MinFaults/MaxFaults bound the schedule size (defaults 3 and 6).
 	MinFaults, MaxFaults int
+	// CtrlRegions, when positive, widens the kind draw with the three
+	// control-plane faults (ctrldown over [0, CtrlRegions), telemloss,
+	// ctrldelay). Zero keeps the draw sequence — and therefore every
+	// existing schedule — byte-identical to before the control plane
+	// existed.
+	CtrlRegions int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,7 +89,11 @@ func randomFault(rng *rand.Rand, cfg Config) faults.Fault {
 	}
 
 	f := faults.Fault{At: at, For: dur}
-	switch rng.Intn(4) {
+	kinds := 4
+	if cfg.CtrlRegions > 0 {
+		kinds = 7
+	}
+	switch rng.Intn(kinds) {
 	case 0:
 		f.Kind = faults.SiteCrash
 		f.Site = topology.SiteID(rng.Intn(cfg.Sites))
@@ -98,6 +108,15 @@ func randomFault(rng *rand.Rand, cfg Config) faults.Fault {
 		f.Kind = faults.LinkSlow
 		f.From, f.To = randomLink(rng, cfg.Sites)
 		f.Factor = randomFactor(rng)
+	case 4:
+		f.Kind = faults.CtrlDown
+		f.Region = rng.Intn(cfg.CtrlRegions)
+	case 5:
+		f.Kind = faults.TelemLoss
+		f.Rate = randomFactor(rng)
+	case 6:
+		f.Kind = faults.CtrlDelay
+		f.Delay = time.Duration(1+rng.Intn(5)) * time.Second
 	}
 	return f
 }

@@ -28,6 +28,18 @@ type RunStats struct {
 	DownSites []topology.SiteID
 	// MaxRecovery is the slowest completed site-failure recovery.
 	MaxRecovery time.Duration
+	// QuarantinedRegions lists control-plane regions still quarantined at
+	// end of run (every generated ctrl fault heals, so reports resume and
+	// re-admission must have happened).
+	QuarantinedRegions []int
+	// UnackedCommands counts controller commands still awaiting an ack
+	// (aborted commands are resolved and do not count).
+	UnackedCommands int
+	// WrongActions counts commands issued at sites whose region had an
+	// active control partition — decisions taken on evidence the
+	// controller should have recognized as unusable. Reported by the
+	// ctrlchaos sweep; not itself an invariant.
+	WrongActions int
 }
 
 // Violation is one broken invariant.
@@ -50,7 +62,11 @@ func (v Violation) String() string {
 //  5. all-sites-healed — every generated fault heals, so no site may
 //     still be down;
 //  6. recovery-bound — the slowest recovery finished within recoveryBound
-//     (0 skips the check).
+//     (0 skips the check);
+//  7. no-quarantine-after-heal — once control faults heal and reports
+//     resume, no region may still be quarantined;
+//  8. no-unacked-commands — every command was acked or aborted by the
+//     supervisor before the run ended.
 //
 // An empty result means the run was clean.
 func Check(s RunStats, recoveryBound time.Duration) []Violation {
@@ -81,6 +97,14 @@ func Check(s RunStats, recoveryBound time.Duration) []Violation {
 	if recoveryBound > 0 && s.MaxRecovery > recoveryBound {
 		out = append(out, Violation{"recovery-bound",
 			fmt.Sprintf("slowest recovery %v exceeds bound %v", s.MaxRecovery, recoveryBound)})
+	}
+	if len(s.QuarantinedRegions) > 0 {
+		out = append(out, Violation{"no-quarantine-after-heal",
+			fmt.Sprintf("regions %v still quarantined at end of run", s.QuarantinedRegions)})
+	}
+	if s.UnackedCommands > 0 {
+		out = append(out, Violation{"no-unacked-commands",
+			fmt.Sprintf("%d command(s) still awaiting an ack at end of run", s.UnackedCommands)})
 	}
 	return out
 }

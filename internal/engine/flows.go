@@ -60,17 +60,25 @@ func (e *Engine) rebuildFlows() {
 		}
 	}
 
-	// Carry over or re-home queued cohorts (in deterministic key order),
-	// then release old netsim flows.
-	for _, key := range detutil.SortedKeysFunc(old, flowKeyLess) {
+	// Carry over queued cohorts (in deterministic key order) and release
+	// old netsim flows. Surviving flows must all be carried BEFORE any
+	// dead flow is re-homed: rehomeCohorts may push into a surviving
+	// flow's queue, and a carry after that would overwrite the queue and
+	// silently destroy the re-homed cohorts.
+	oldKeys := detutil.SortedKeysFunc(old, flowKeyLess)
+	for _, key := range oldKeys {
 		of := old[key]
 		if nf, ok := e.flows[key]; ok {
 			nf.q = of.q
-		} else if !of.q.empty() {
-			e.rehomeCohorts(key, &of.q)
 		}
 		if of.flow != nil {
 			e.net.RemoveFlow(of.flow)
+		}
+	}
+	for _, key := range oldKeys {
+		of := old[key]
+		if _, ok := e.flows[key]; !ok && !of.q.empty() {
+			e.rehomeCohorts(key, &of.q)
 		}
 	}
 }

@@ -314,7 +314,6 @@ func (e *Engine) finalizeReconfig(rc *reconfiguration, now vclock.Time) {
 			}
 		}
 	}
-
 	e.rebuildFlows()
 	e.refreshGoodputModel()
 	if rc.span != nil {

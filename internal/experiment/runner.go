@@ -6,6 +6,7 @@ import (
 
 	"github.com/wasp-stream/wasp/internal/adapt"
 	"github.com/wasp-stream/wasp/internal/chaos"
+	"github.com/wasp-stream/wasp/internal/ctrlplane"
 	"github.com/wasp-stream/wasp/internal/engine"
 	"github.com/wasp-stream/wasp/internal/faults"
 	"github.com/wasp-stream/wasp/internal/netsim"
@@ -78,6 +79,12 @@ type Scenario struct {
 	// this period, plus checkpoint-driven recovery on site crashes. Zero
 	// disables: crashed tasks restart empty and their state is lost.
 	CheckpointEvery time.Duration
+
+	// Ctrl, when non-nil, routes the controller's telemetry and commands
+	// over the simulated WAN control plane (ctrlplane) instead of the
+	// ideal instantaneous model. Nil — the default for every existing
+	// entry point — keeps runs byte-identical to the ideal controller.
+	Ctrl *ctrlplane.Config
 
 	// SampleEvery sets the series bucket width (default 20 s).
 	SampleEvery time.Duration
@@ -237,6 +244,21 @@ func Run(s Scenario) (*Result, error) {
 		ctl.SetObserver(sc.Obs)
 	}
 
+	var plane *ctrlplane.Plane
+	if sc.Ctrl != nil {
+		ccfg := *sc.Ctrl
+		if ccfg.ControllerSite == 0 {
+			ccfg.ControllerSite = qcfg.SinkSite // co-locate with the sink DC
+		}
+		if ccfg.Seed == 0 {
+			ccfg.Seed = sc.Seed
+		}
+		plane = ctrlplane.New(ccfg, eng, net, top, sched, ctl.Observer())
+		ctl.AttachControlPlane(plane)
+		plane.Start()
+		defer plane.Stop()
+	}
+
 	if sc.FailFor > 0 {
 		sched.At(vclock.Time(sc.FailAt), func(vclock.Time) {
 			eng.Fail(vclock.Time(sc.FailFor))
@@ -256,6 +278,9 @@ func Run(s Scenario) (*Result, error) {
 	if len(fs) > 0 {
 		inj := faults.NewInjector(eng, net, ctl.Observer())
 		inj.SetRecoverer(ctl)
+		if plane != nil {
+			inj.SetControlPlane(plane)
+		}
 		if err := inj.Schedule(sched, fs); err != nil {
 			return nil, fmt.Errorf("faults %s: %w", q.Name, err)
 		}
@@ -314,6 +339,11 @@ func Run(s Scenario) (*Result, error) {
 	res.Actions = ctl.Actions()
 	res.Obs = ctl.Observer()
 	res.Final = finalState(eng, net, res.Obs)
+	if plane != nil {
+		res.Final.QuarantinedRegions = plane.QuarantinedRegions()
+		res.Final.UnackedCommands = plane.UnackedCommands()
+		res.Final.WrongActions = plane.WrongActions()
+	}
 	return res, nil
 }
 

@@ -10,6 +10,13 @@
 //	slow@200s:site=2,factor=0.25,for=400s
 //	linkdown@100s:from=1,to=3,for=60s
 //	linkslow@100s:from=1,to=3,factor=0.5
+//	ctrldown@200s:region=1,for=120s
+//	telemloss@100s:rate=0.5,for=300s
+//	ctrldelay@100s:delay=2s,for=300s
+//
+// The ctrl* kinds impair the simulated control plane (telemetry reports
+// and controller commands) rather than the data plane, and require a run
+// with the control plane enabled.
 //
 // Multiple faults are separated by semicolons. "for" schedules the heal
 // (site restart, link repair, straggler recovery); without it the fault
@@ -46,6 +53,16 @@ const (
 	// LinkSlow degrades the directed From→To WAN link to Factor of its
 	// trace-driven capacity.
 	LinkSlow
+	// CtrlDown partitions one control-plane region from the controller:
+	// its telemetry reports and the controller's commands toward it are
+	// lost for the window. Requires a control plane (SetControlPlane).
+	CtrlDown
+	// TelemLoss drops each telemetry report independently with
+	// probability Rate for the window. Requires a control plane.
+	TelemLoss
+	// CtrlDelay adds Delay to every control-plane message in both
+	// directions for the window. Requires a control plane.
+	CtrlDelay
 )
 
 func (k Kind) String() string {
@@ -58,6 +75,12 @@ func (k Kind) String() string {
 		return "linkdown"
 	case LinkSlow:
 		return "linkslow"
+	case CtrlDown:
+		return "ctrldown"
+	case TelemLoss:
+		return "telemloss"
+	case CtrlDelay:
+		return "ctrldelay"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -76,6 +99,12 @@ type Fault struct {
 	From, To topology.SiteID
 	// Factor is the capacity fraction for SiteSlow/LinkSlow (0 < f < 1).
 	Factor float64
+	// Region is the control-plane region CtrlDown partitions.
+	Region int
+	// Rate is the TelemLoss report drop probability (0 < r ≤ 1).
+	Rate float64
+	// Delay is the CtrlDelay per-message added latency (> 0).
+	Delay time.Duration
 }
 
 // String renders the fault in the DSL syntax it parses from.
@@ -91,6 +120,12 @@ func (f Fault) String() string {
 		fmt.Fprintf(&b, "from=%d,to=%d", int(f.From), int(f.To))
 	case LinkSlow:
 		fmt.Fprintf(&b, "from=%d,to=%d,factor=%g", int(f.From), int(f.To), f.Factor)
+	case CtrlDown:
+		fmt.Fprintf(&b, "region=%d", f.Region)
+	case TelemLoss:
+		fmt.Fprintf(&b, "rate=%g", f.Rate)
+	case CtrlDelay:
+		fmt.Fprintf(&b, "delay=%s", f.Delay)
 	}
 	if f.For > 0 {
 		fmt.Fprintf(&b, ",for=%s", f.For)
@@ -123,6 +158,18 @@ func (f Fault) Validate() error {
 		if f.Factor <= 0 || f.Factor >= 1 {
 			return fmt.Errorf("faults: linkslow factor %g not in (0,1)", f.Factor)
 		}
+	case CtrlDown:
+		if f.Region < 0 {
+			return fmt.Errorf("faults: ctrldown region %d negative", f.Region)
+		}
+	case TelemLoss:
+		if f.Rate <= 0 || f.Rate > 1 {
+			return fmt.Errorf("faults: telemloss rate %g not in (0,1]", f.Rate)
+		}
+	case CtrlDelay:
+		if f.Delay <= 0 {
+			return fmt.Errorf("faults: ctrldelay delay %s not positive", f.Delay)
+		}
 	default:
 		return fmt.Errorf("faults: unknown kind %d", int(f.Kind))
 	}
@@ -150,6 +197,12 @@ func (f Fault) target() string {
 		return fmt.Sprintf("site %d", int(f.Site))
 	case LinkDown, LinkSlow:
 		return fmt.Sprintf("link %d→%d", int(f.From), int(f.To))
+	case CtrlDown:
+		return fmt.Sprintf("ctrl region %d", f.Region)
+	case TelemLoss:
+		return "telemetry"
+	case CtrlDelay:
+		return "ctrl delay"
 	}
 	return ""
 }
@@ -185,6 +238,17 @@ func ValidateSchedule(fs []Fault) error {
 	return nil
 }
 
+// HasControlFaults reports whether any fault in the schedule acts on the
+// control plane — such schedules need a Plane wired up before Schedule.
+func HasControlFaults(fs []Fault) bool {
+	for _, f := range fs {
+		if f.Kind.isCtrl() {
+			return true
+		}
+	}
+	return false
+}
+
 // Recoverer reacts to detected failures — the adapt controller implements
 // it to run checkpoint-driven recovery.
 type Recoverer interface {
@@ -194,12 +258,23 @@ type Recoverer interface {
 	OnSiteCrash(site topology.SiteID)
 }
 
+// ControlPlane is the injector's hook into the simulated control plane
+// (implemented by *ctrlplane.Plane). Without one, ctrl fault kinds are
+// rejected at Schedule time.
+type ControlPlane interface {
+	NumRegions() int
+	SetRegionPartition(region int, down bool)
+	SetLossRate(rate float64)
+	SetExtraDelay(d time.Duration)
+}
+
 // Injector applies scheduled faults to a deployment.
 type Injector struct {
-	eng *engine.Engine
-	net *netsim.Network
-	rec Recoverer
-	obs *obs.Observer
+	eng  *engine.Engine
+	net  *netsim.Network
+	rec  Recoverer
+	ctrl ControlPlane
+	obs  *obs.Observer
 }
 
 // NewInjector creates an injector for one engine/network pair. The
@@ -213,6 +288,12 @@ func NewInjector(eng *engine.Engine, net *netsim.Network, o *obs.Observer) *Inje
 // baseline).
 func (in *Injector) SetRecoverer(r Recoverer) { in.rec = r }
 
+// SetControlPlane wires ctrl fault kinds to an impaired control plane.
+func (in *Injector) SetControlPlane(p ControlPlane) { in.ctrl = p }
+
+// isCtrl reports whether the kind acts on the control plane.
+func (k Kind) isCtrl() bool { return k == CtrlDown || k == TelemLoss || k == CtrlDelay }
+
 // Schedule validates the fault script and arms every fault (and its heal)
 // on the scheduler. Faults are armed in a deterministic order: by
 // injection time, then by script position.
@@ -225,6 +306,14 @@ func (in *Injector) Schedule(sched *vclock.Scheduler, fs []Fault) error {
 		for _, s := range f.sites() {
 			if int(s) < 0 || int(s) >= n {
 				return fmt.Errorf("faults: %s: site %d outside the topology [0,%d)", f.Kind, int(s), n)
+			}
+		}
+		if f.Kind.isCtrl() {
+			if in.ctrl == nil {
+				return fmt.Errorf("faults: %s requires an impaired control plane (enable it with -ctrl)", f.Kind)
+			}
+			if f.Kind == CtrlDown && f.Region >= in.ctrl.NumRegions() {
+				return fmt.Errorf("faults: ctrldown region %d outside [0,%d)", f.Region, in.ctrl.NumRegions())
 			}
 		}
 	}
@@ -260,6 +349,12 @@ func (in *Injector) apply(f Fault, now vclock.Time) {
 		in.net.SetLinkFault(f.From, f.To, 0)
 	case LinkSlow:
 		in.net.SetLinkFault(f.From, f.To, f.Factor)
+	case CtrlDown:
+		in.ctrl.SetRegionPartition(f.Region, true)
+	case TelemLoss:
+		in.ctrl.SetLossRate(f.Rate)
+	case CtrlDelay:
+		in.ctrl.SetExtraDelay(f.Delay)
 	}
 }
 
@@ -277,6 +372,12 @@ func (in *Injector) heal(f Fault, now vclock.Time) {
 		in.eng.SetSiteStraggler(f.Site, 1)
 	case LinkDown, LinkSlow:
 		in.net.ClearLinkFault(f.From, f.To)
+	case CtrlDown:
+		in.ctrl.SetRegionPartition(f.Region, false)
+	case TelemLoss:
+		in.ctrl.SetLossRate(0)
+	case CtrlDelay:
+		in.ctrl.SetExtraDelay(0)
 	}
 }
 
@@ -320,6 +421,12 @@ func parseOne(s string) (Fault, error) {
 		f.Kind = LinkDown
 	case "linkslow":
 		f.Kind = LinkSlow
+	case "ctrldown":
+		f.Kind = CtrlDown
+	case "telemloss":
+		f.Kind = TelemLoss
+	case "ctrldelay":
+		f.Kind = CtrlDelay
 	default:
 		return Fault{}, fmt.Errorf("unknown fault kind %q", kindStr)
 	}
@@ -371,7 +478,31 @@ func parseOne(s string) (Fault, error) {
 				if err != nil {
 					return Fault{}, fmt.Errorf("bad duration %q", val)
 				}
+				if d <= 0 {
+					// A zero or negative window would either schedule
+					// nothing or silently mean "permanent" — both are
+					// script mistakes. Omit for= for a permanent fault.
+					return Fault{}, fmt.Errorf("for=%s is not a fault window (must be positive; omit for= for a permanent fault)", val)
+				}
 				f.For = d
+			case "region":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad region %q", val)
+				}
+				f.Region = n
+			case "rate":
+				x, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad rate %q", val)
+				}
+				f.Rate = x
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil {
+					return Fault{}, fmt.Errorf("bad delay %q", val)
+				}
+				f.Delay = d
 			default:
 				return Fault{}, fmt.Errorf("unknown parameter %q", key)
 			}
@@ -390,6 +521,20 @@ func parseOne(s string) (Fault, error) {
 	}
 	if (f.Kind == SiteSlow || f.Kind == LinkSlow) && !seen["factor"] {
 		return Fault{}, fmt.Errorf("%s requires factor=", f.Kind)
+	}
+	switch f.Kind {
+	case CtrlDown:
+		if !seen["region"] {
+			return Fault{}, fmt.Errorf("ctrldown requires region=")
+		}
+	case TelemLoss:
+		if !seen["rate"] {
+			return Fault{}, fmt.Errorf("telemloss requires rate=")
+		}
+	case CtrlDelay:
+		if !seen["delay"] {
+			return Fault{}, fmt.Errorf("ctrldelay requires delay=")
+		}
 	}
 	return f, f.Validate()
 }

@@ -88,6 +88,35 @@ func TestParseRejectsBadScripts(t *testing.T) {
 	}
 }
 
+// A for=0s or negative window is a script mistake, not a permanent
+// fault: it must be rejected, and the error must carry the 1-based
+// script position of the offending fault so multi-fault scripts are
+// debuggable.
+func TestParseRejectsNonPositiveWindows(t *testing.T) {
+	cases := []struct {
+		script   string
+		position string // "fault N" fragment the error must name
+	}{
+		{"crash@10s:site=1,for=0s", "fault 1"},
+		{"crash@10s:site=1,for=-5s", "fault 1"},
+		{"crash@10s:site=1,for=30s; slow@20s:site=2,factor=0.5,for=0s", "fault 2"},
+		{"crash@10s:site=1,for=30s; linkdown@20s:from=0,to=1,for=40s; ctrldown@30s:region=1,for=-1ms", "fault 3"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.script)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted a non-positive for= window", c.script)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.position) {
+			t.Errorf("Parse(%q) error %q does not name %s", c.script, err, c.position)
+		}
+		if !strings.Contains(err.Error(), "must be positive") {
+			t.Errorf("Parse(%q) error %q does not explain the constraint", c.script, err)
+		}
+	}
+}
+
 // deployRig builds src(site0) → map(site1) → sink(site1) over three
 // 80 Mbps sites, all on the virtual clock.
 func deployRig(t *testing.T) (*engine.Engine, *netsim.Network, *vclock.Scheduler) {

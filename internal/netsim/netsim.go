@@ -323,6 +323,14 @@ func (n *Network) Capacity(from, to topology.SiteID, now vclock.Time) float64 {
 	return base * f
 }
 
+// Reachable reports whether the from→to path can carry any traffic at
+// time now: a blackout fault (or a bandwidth trace pinned at zero) severs
+// it. Control-plane messages ride the same links as data, so this is also
+// the deliverability test for telemetry reports and commands.
+func (n *Network) Reachable(from, to topology.SiteID, now vclock.Time) bool {
+	return n.Capacity(from, to, now) > 0
+}
+
 // CapacityMbps returns Capacity converted to Mbps, for reporting.
 func (n *Network) CapacityMbps(from, to topology.SiteID, now vclock.Time) topology.Mbps {
 	return topology.Mbps(n.Capacity(from, to, now) * 8 / 1e6)
